@@ -1,0 +1,85 @@
+// Ablation: cache-based AFD vs the counter-based Space-Saving sketch at
+// equal state budgets — the "per-flow counter" line of related work the
+// paper contrasts with (Sec. VI). Space-Saving gives deterministic
+// guarantees but needs count comparisons on every packet; the AFD is a
+// plain cache lookup. We compare top-16 identification quality.
+//
+// Usage: abl_afd_vs_spacesaving [--packets=N] [--traces=...|all]
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/afd.h"
+#include "cache/space_saving.h"
+#include "cache/topk.h"
+#include "trace/synthetic.h"
+#include "util/flags.h"
+#include "util/tableio.h"
+
+namespace {
+
+std::vector<std::string> parse_traces(const std::string& arg) {
+  if (arg == "all") return laps::trace_registry_names();
+  std::vector<std::string> out;
+  std::stringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  laps::Flags flags(argc, argv);
+  const auto packets =
+      static_cast<std::uint64_t>(flags.get_int("packets", 2'000'000));
+  const auto traces =
+      parse_traces(flags.get_string("traces", "caida1,caida2,auck1,auck2"));
+  flags.finish();
+
+  std::printf("=== AFD vs Space-Saving, top-16 identification (%llu "
+              "packets/trace) ===\n\n",
+              static_cast<unsigned long long>(packets));
+  laps::Table out({"trace", "budget", "AFD FPR", "AFD recall",
+                   "SpaceSaving FPR", "SpaceSaving recall"});
+  for (const std::string& name : traces) {
+    for (std::size_t budget : {128u, 512u}) {
+      laps::AfdConfig cfg;
+      cfg.afc_entries = 16;
+      cfg.annex_entries = budget - 16;
+      laps::Afd afd(cfg);
+      laps::SpaceSaving sketch(budget);
+      laps::ExactTopK truth;
+
+      auto trace = laps::make_trace(name);
+      for (std::uint64_t i = 0; i < packets; ++i) {
+        const std::uint64_t key = trace->next()->tuple.key64();
+        truth.access(key);
+        afd.access(key);
+        sketch.access(key);
+      }
+      std::vector<std::uint64_t> ss_claim;
+      for (const auto& counter : sketch.top_k(16)) {
+        ss_claim.push_back(counter.key);
+      }
+      const auto afd_acc =
+          laps::score_detector(truth, afd.aggressive_flows(), 16);
+      const auto ss_acc = laps::score_detector(truth, ss_claim, 16);
+      out.add_row({name, std::to_string(budget),
+                   laps::Table::pct(afd_acc.false_positive_ratio(), 1),
+                   laps::Table::pct(afd_acc.recall(16), 1),
+                   laps::Table::pct(ss_acc.false_positive_ratio(), 1),
+                   laps::Table::pct(ss_acc.recall(16), 1)});
+    }
+    std::fprintf(stderr, "done: %s\n", name.c_str());
+  }
+  std::cout << out.to_string();
+  std::printf("\nExpected: Space-Saving is at least as accurate (it has "
+              "deterministic guarantees); the AFD trades a little accuracy "
+              "for a cheaper, directly-schedulable cache structure.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: order *preservation* (LAPS) vs order *restoration* (Shi et al.
+// [35] — spray packets freely, reorder at egress). The paper argues
+// restoration has "considerable storage overheads, and even worse, packets
+// of the same flow can be processed on different cores, destroying flow
+// locality"; this bench measures both costs.
+//
+// Usage: abl_order_restoration [--seconds=S] [--trace=caida1] [--load=1.0]
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/fcfs.h"
+#include "core/laps.h"
+#include "sim/scenarios.h"
+#include "util/flags.h"
+#include "util/tableio.h"
+
+int main(int argc, char** argv) {
+  laps::Flags flags(argc, argv);
+  laps::ScenarioOptions options;
+  options.seconds = flags.get_double("seconds", 0.03);
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 17));
+  options.num_cores = static_cast<std::size_t>(flags.get_int("cores", 16));
+  const double load = flags.get_double("load", 0.9);
+  const std::string trace = flags.get_string("trace", "caida1");
+  flags.finish();
+
+  auto cfg = laps::make_single_service_scenario(trace, options, load);
+
+  std::printf("=== Order preservation (LAPS) vs restoration (FCFS + egress "
+              "reorder buffer), %s at %.0f%% load ===\n\n",
+              trace.c_str(), load * 100);
+  laps::Table out({"scheme", "wire ooo", "drop%", "fm penalties",
+                   "rob peak pkts", "rob buffered", "rob mean hold us",
+                   "p99 latency us"});
+
+  auto add = [&](const char* label, const laps::SimReport& r) {
+    const bool rob = r.extra.count("rob_max_occupancy") > 0;
+    out.add_row(
+        {label, laps::Table::num(static_cast<std::int64_t>(r.out_of_order)),
+         laps::Table::pct(r.drop_ratio()),
+         laps::Table::num(static_cast<std::int64_t>(r.fm_penalties)),
+         rob ? laps::Table::num(r.extra.at("rob_max_occupancy"), 0) : "-",
+         rob ? laps::Table::num(r.extra.at("rob_buffered_packets"), 0) : "-",
+         rob ? laps::Table::num(r.extra.at("rob_mean_held_us"), 2) : "-",
+         laps::Table::num(laps::to_us(r.latency_ns.quantile(0.99)), 1)});
+  };
+
+  {
+    laps::LapsConfig laps_cfg;
+    laps_cfg.num_services = 1;
+    laps::LapsScheduler sched(laps_cfg);
+    add("LAPS (preserve order)", laps::run_scenario(cfg, sched));
+  }
+  {
+    laps::FcfsScheduler sched;
+    add("FCFS, no buffer (reorders!)", laps::run_scenario(cfg, sched));
+  }
+  {
+    cfg.restore_order = true;
+    laps::FcfsScheduler sched;
+    add("FCFS + reorder buffer", laps::run_scenario(cfg, sched));
+    cfg.restore_order = false;
+  }
+  std::cout << out.to_string();
+  std::printf(
+      "\nReading: the buffer restores order perfectly (wire ooo = 0) but "
+      "pays output storage (peak pkts) and hold latency, and the spraying "
+      "still destroys flow locality (fm penalties) — the paper's Sec. VI "
+      "argument, quantified.\n");
+  return 0;
+}

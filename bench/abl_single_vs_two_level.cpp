@@ -1,0 +1,93 @@
+// Ablation: the paper's two-level AFD (annex filter + AFC) vs a
+// single-level ElephantTrap-style cache (Lu et al., the Sec. VI comparison:
+// "such a scheme can result in large number of false positives due to many
+// mice flows"). Both detectors are scored against exact top-16 analysis at
+// several state budgets, on CAIDA-like and Auckland-like traces.
+//
+// Usage: abl_single_vs_two_level [--packets=N] [--traces=...|all]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/afd.h"
+#include "cache/elephant_trap.h"
+#include "cache/topk.h"
+#include "trace/synthetic.h"
+#include "util/flags.h"
+#include "util/tableio.h"
+
+namespace {
+
+std::vector<std::string> parse_traces(const std::string& arg) {
+  if (arg == "all") return laps::trace_registry_names();
+  std::vector<std::string> out;
+  std::stringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  laps::Flags flags(argc, argv);
+  const auto packets =
+      static_cast<std::uint64_t>(flags.get_int("packets", 2'000'000));
+  const auto traces =
+      parse_traces(flags.get_string("traces", "caida1,auck1"));
+  flags.finish();
+
+  std::printf("=== Single-level cache vs two-level AFD, top-16 FPR (%llu "
+              "packets/trace) ===\n",
+              static_cast<unsigned long long>(packets));
+  std::printf("State budgets compare equal total entries: trap(N) vs "
+              "AFD(16 AFC + N-16 annex).\n\n");
+
+  laps::Table out({"trace", "entries", "single-level FPR",
+                   "two-level FPR", "two-level+guard FPR"});
+  for (const std::string& name : traces) {
+    for (std::size_t entries : {16u, 64u, 256u, 1024u}) {
+      laps::ElephantTrap trap(entries, 16);
+      laps::AfdConfig cfg;
+      cfg.afc_entries = 16;
+      cfg.annex_entries = entries > 16 ? entries - 16 : 16;
+      laps::Afd afd(cfg);
+      laps::AfdConfig guarded_cfg = cfg;
+      guarded_cfg.require_beat_afc_min = true;
+      laps::Afd guarded(guarded_cfg);
+      laps::ExactTopK truth;
+
+      auto trace = laps::make_trace(name);
+      for (std::uint64_t i = 0; i < packets; ++i) {
+        const std::uint64_t key = trace->next()->tuple.key64();
+        truth.access(key);
+        trap.access(key);
+        afd.access(key);
+        guarded.access(key);
+      }
+      const auto trap_acc = laps::score_detector(truth, trap.elephants(), 16);
+      const auto afd_acc =
+          laps::score_detector(truth, afd.aggressive_flows(), 16);
+      const auto guarded_acc =
+          laps::score_detector(truth, guarded.aggressive_flows(), 16);
+      out.add_row({name, std::to_string(entries),
+                   laps::Table::pct(trap_acc.false_positive_ratio(), 1),
+                   laps::Table::pct(afd_acc.false_positive_ratio(), 1),
+                   laps::Table::pct(guarded_acc.false_positive_ratio(), 1)});
+    }
+    std::fprintf(stderr, "done: %s\n", name.c_str());
+  }
+  std::cout << out.to_string();
+  std::printf(
+      "\nReading: at 16 entries the single cache is the paper's comparator "
+      "(Lu et al.)\nand suffers mice churn; the AFD removes that with a "
+      "16-entry decision\nstructure. A large single LFU also converges — "
+      "but then the migration\ndecision must search the full structure, "
+      "not 16 entries.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Compares every scheduler in the library on the same traffic — the
+// experiment of paper Fig. 7 in miniature, on one scenario.
+//
+// Usage: scheduler_comparison [--scenario=T5] [--seconds=0.1] [--seed=N]
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "baselines/afs.h"
+#include "baselines/fcfs.h"
+#include "baselines/oracle_topk.h"
+#include "baselines/static_hash.h"
+#include "core/laps.h"
+#include "sim/scenarios.h"
+#include "util/flags.h"
+#include "util/tableio.h"
+
+int main(int argc, char** argv) {
+  using namespace laps;
+
+  Flags flags(argc, argv);
+  ScenarioOptions options;
+  options.seconds = flags.get_double("seconds", 0.1);
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const std::string id = flags.get_string("scenario", "T5");
+  flags.finish();
+
+  const ScenarioConfig config = make_paper_scenario(id, options);
+  std::cout << "Scenario " << id << ": 4 services, " << config.num_cores
+            << " cores, " << options.seconds << " s\n\n";
+
+  std::vector<std::unique_ptr<Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<FcfsScheduler>());
+  schedulers.push_back(std::make_unique<StaticHashScheduler>());
+  schedulers.push_back(std::make_unique<AfsScheduler>());
+  schedulers.push_back(std::make_unique<OracleTopKScheduler>(16));
+  LapsConfig laps_config;
+  laps_config.num_services = kNumServices;
+  schedulers.push_back(std::make_unique<LapsScheduler>(laps_config));
+
+  Table table({"scheduler", "drop%", "cold-cache%", "out-of-order%",
+               "migrations", "p99 latency us", "throughput Mpps"});
+  for (auto& scheduler : schedulers) {
+    const SimReport r = run_scenario(config, *scheduler);
+    table.add_row({r.scheduler, Table::pct(r.drop_ratio()),
+                   Table::pct(r.cold_cache_ratio()),
+                   Table::pct(r.ooo_ratio(), 4),
+                   Table::num(static_cast<std::int64_t>(r.flow_migrations)),
+                   Table::num(to_us(r.latency_ns.quantile(0.99)), 1),
+                   Table::num(r.throughput_mpps(), 3)});
+  }
+  std::cout << table.to_string()
+            << "\nLAPS keeps I-caches warm (cold% ~ 0) by partitioning cores "
+               "among services,\nand keeps packet order by migrating only "
+               "AFC-resident aggressive flows.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "baselines/afs.h"
+
+namespace laps {
+
+CoreId AfsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
+  const std::size_t bucket = bucket_of(pkt);
+  CoreId target = table_[bucket];
+  ++seen_;
+  const bool cooled_down =
+      bundle_shifts_ == 0 || seen_ - last_shift_ >= shift_cooldown_;
+  if (cooled_down && view.cores()[target].queue_len >= high_thresh_) {
+    CoreId best = target;
+    std::uint32_t best_load = view.load(target);
+    for (std::size_t c = 0; c < num_cores_; ++c) {
+      const std::uint32_t load = view.load(static_cast<CoreId>(c));
+      if (load < best_load) {
+        best_load = load;
+        best = static_cast<CoreId>(c);
+      }
+    }
+    if (best != target) {
+      table_[bucket] = best;  // shift the whole (arbitrary) flow bundle
+      ++bundle_shifts_;
+      last_shift_ = seen_;
+      target = best;
+    }
+  }
+  return target;
+}
+
+}  // namespace laps

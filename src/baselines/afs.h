@@ -1,0 +1,53 @@
+#pragma once
+
+#include "baselines/static_hash.h"
+
+namespace laps {
+
+/// Arbitrary Flow Shift — Dittmann & Herkersdorf's load balancer, the
+/// paper's main prior-work comparator (Sec. V-A, Fig. 7/9).
+///
+/// Hash-based like StaticHash, but when an arriving packet's target core is
+/// overloaded (queue at or beyond `high_thresh`), the packet's *entire hash
+/// bucket* is remapped to the least-loaded core. The bucket carries whatever
+/// flows happen to hash there — aggressive or not — hence "arbitrary": many
+/// low-rate flows get migrated (paying FM penalties and reordering) for
+/// every aggressive flow that actually needed to move.
+/// Dittmann's balancer re-evaluates the mapping periodically rather than on
+/// every packet; `shift_cooldown` (in packets) models that period. Without
+/// it, per-packet bundle shifts thrash every flow through FM penalties and
+/// AFS collapses below even the no-migration baseline — far worse than the
+/// scheme the paper compares against.
+class AfsScheduler final : public StaticHashScheduler {
+ public:
+  explicit AfsScheduler(std::uint32_t high_thresh = 24,
+                        std::size_t num_buckets = 0,
+                        std::uint64_t shift_cooldown = 2048)
+      : StaticHashScheduler(num_buckets),
+        high_thresh_(high_thresh),
+        shift_cooldown_(shift_cooldown) {}
+
+  void attach(std::size_t num_cores) override {
+    StaticHashScheduler::attach(num_cores);
+    seen_ = 0;
+    last_shift_ = 0;
+    bundle_shifts_ = 0;
+  }
+
+  CoreId schedule(const SimPacket& pkt, const NpuView& view) override;
+
+  std::string name() const override { return "AFS"; }
+
+  std::map<std::string, double> extra_stats() const override {
+    return {{"bundle_shifts", static_cast<double>(bundle_shifts_)}};
+  }
+
+ private:
+  std::uint32_t high_thresh_;
+  std::uint64_t shift_cooldown_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t last_shift_ = 0;
+  std::uint64_t bundle_shifts_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,34 @@
+#include "baselines/batch.h"
+
+namespace laps {
+
+CoreId BatchScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
+  const std::uint64_t key = pkt.flow_key();
+  const auto it = current_.find(key);
+  if (it != current_.end() && it->second.remaining > 0) {
+    --it->second.remaining;
+    const CoreId core = it->second.core;
+    // Reclaim the per-flow slot as soon as the batch completes, so state
+    // tracks *active* batches rather than every flow ever seen.
+    if (it->second.remaining == 0) current_.erase(it);
+    return core;
+  }
+
+  // New batch: least-loaded core right now.
+  CoreId best = 0;
+  std::uint32_t best_load = view.load(0);
+  for (std::size_t c = 1; c < num_cores_; ++c) {
+    const std::uint32_t load = view.load(static_cast<CoreId>(c));
+    if (load < best_load) {
+      best_load = load;
+      best = static_cast<CoreId>(c);
+    }
+  }
+  ++batches_;
+  if (batch_size_ > 1) {
+    current_[key] = Assignment{best, batch_size_ - 1};
+  }
+  return best;
+}
+
+}  // namespace laps

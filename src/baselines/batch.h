@@ -1,0 +1,50 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/scheduler.h"
+
+namespace laps {
+
+/// Batch scheduling — Guo, Yao & Bhuyan (INFOCOM'05), the paper's Sec. VI
+/// comparison: packets are assigned to cores in per-flow *batches*. The
+/// first packet of a batch picks the least-loaded core; the next
+/// `batch_size - 1` packets of that flow follow it. Within a batch order
+/// is preserved and load chases the instantaneous minimum; across batch
+/// boundaries a flow may hop cores, reordering the boundary packets and
+/// paying FM penalties — and, as the paper notes, the scheme assumes every
+/// packet needs the same application (no service partitioning) and keeps
+/// per-active-flow state the hardware must synchronize.
+class BatchScheduler final : public Scheduler {
+ public:
+  explicit BatchScheduler(std::uint32_t batch_size = 32)
+      : batch_size_(batch_size) {}
+
+  void attach(std::size_t num_cores) override {
+    num_cores_ = num_cores;
+    current_.clear();
+    batches_ = 0;
+  }
+
+  CoreId schedule(const SimPacket& pkt, const NpuView& view) override;
+
+  std::string name() const override { return "Batch"; }
+
+  std::map<std::string, double> extra_stats() const override {
+    return {{"batches_opened", static_cast<double>(batches_)},
+            {"active_flow_state", static_cast<double>(current_.size())}};
+  }
+
+ private:
+  struct Assignment {
+    CoreId core = 0;
+    std::uint32_t remaining = 0;  // packets left in the current batch
+  };
+
+  std::uint32_t batch_size_;
+  std::size_t num_cores_ = 0;
+  std::unordered_map<std::uint64_t, Assignment> current_;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,24 @@
+#include "baselines/fcfs.h"
+
+namespace laps {
+
+CoreId FcfsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
+  static_cast<void>(pkt);
+  CoreId best = 0;
+  std::uint32_t best_load = ~0u;
+  // Start the scan at a rotating offset so equally-loaded cores share
+  // traffic instead of core 0 absorbing every tie.
+  for (std::size_t i = 0; i < num_cores_; ++i) {
+    const CoreId c = static_cast<CoreId>((rr_ + i) % num_cores_);
+    const std::uint32_t load = view.load(c);
+    if (load < best_load) {
+      best_load = load;
+      best = c;
+      if (load == 0) break;
+    }
+  }
+  rr_ = (static_cast<std::size_t>(best) + 1) % num_cores_;
+  return best;
+}
+
+}  // namespace laps

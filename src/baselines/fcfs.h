@@ -1,0 +1,30 @@
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace laps {
+
+/// First-Come-First-Served baseline (paper Sec. V-A): packets are handed to
+/// whichever core can take them soonest, with no notion of flows or
+/// services. Modeled as dispatch-to-least-loaded (a single logical FCFS
+/// queue feeding idle cores behaves identically when queues are short; with
+/// finite per-core queues, least-occupancy is the standard realization).
+/// Maximizes instantaneous balance; destroys flow locality, packet order,
+/// and I-cache locality — the paper's lower bound.
+class FcfsScheduler final : public Scheduler {
+ public:
+  void attach(std::size_t num_cores) override {
+    num_cores_ = num_cores;
+    rr_ = 0;
+  }
+
+  CoreId schedule(const SimPacket& pkt, const NpuView& view) override;
+
+  std::string name() const override { return "FCFS"; }
+
+ private:
+  std::size_t num_cores_ = 0;
+  std::size_t rr_ = 0;  // tie-break rotation so ties spread evenly
+};
+
+}  // namespace laps

@@ -1,0 +1,55 @@
+#include "baselines/oracle_topk.h"
+
+namespace laps {
+
+void OracleTopKScheduler::attach(std::size_t num_cores) {
+  StaticHashScheduler::attach(num_cores);
+  seen_ = 0;
+  counts_.reset();
+  top_set_.clear();
+  prev_top_set_.clear();
+  migrated_.clear();
+  migrations_ = 0;
+}
+
+CoreId OracleTopKScheduler::least_loaded(const NpuView& view) const {
+  CoreId best = 0;
+  std::uint32_t best_load = view.load(0);
+  for (std::size_t c = 1; c < num_cores_; ++c) {
+    const std::uint32_t load = view.load(static_cast<CoreId>(c));
+    if (load < best_load) {
+      best_load = load;
+      best = static_cast<CoreId>(c);
+    }
+  }
+  return best;
+}
+
+CoreId OracleTopKScheduler::schedule(const SimPacket& pkt,
+                                     const NpuView& view) {
+  const std::uint64_t key = pkt.flow_key();
+  counts_.access(key);
+  if (++seen_ % refresh_interval_ == 0) {
+    prev_top_set_ = std::move(top_set_);
+    top_set_ = counts_.top_k_set(k_);
+  }
+
+  // Migration pins take priority over the hash path, as in LAPS.
+  if (const auto it = migrated_.find(key); it != migrated_.end()) {
+    return it->second;
+  }
+
+  CoreId target = table_[bucket_of(pkt)];
+  if (view.cores()[target].queue_len >= high_thresh_) {
+    const CoreId dest = least_loaded(view);
+    if (view.load(dest) < high_thresh_ && dest != target &&
+        top_set_.count(key) && prev_top_set_.count(key)) {
+      migrated_[key] = dest;
+      ++migrations_;
+      target = dest;
+    }
+  }
+  return target;
+}
+
+}  // namespace laps

@@ -1,0 +1,23 @@
+#include "baselines/static_hash.h"
+
+#include <bit>
+
+namespace laps {
+
+void StaticHashScheduler::attach(std::size_t num_cores) {
+  num_cores_ = num_cores;
+  std::size_t buckets = num_buckets_;
+  if (buckets == 0) buckets = std::bit_ceil(num_cores * 16);
+  table_.resize(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    table_[b] = static_cast<CoreId>(b % num_cores);
+  }
+}
+
+CoreId StaticHashScheduler::schedule(const SimPacket& pkt,
+                                     const NpuView& view) {
+  static_cast<void>(view);
+  return table_[bucket_of(pkt)];
+}
+
+}  // namespace laps

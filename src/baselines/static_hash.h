@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace laps {
+
+/// Pure hash-based scheduler with no migration: CRC16 of the 5-tuple
+/// indexes a fixed bucket table mapping to cores (Dittmann's base scheme,
+/// and the "no flows migrated" reference point of Fig. 9).
+///
+/// Perfect flow locality and packet order, zero adaptivity: under skewed
+/// flow sizes one core saturates while others idle, so it drops the most
+/// packets of any hash-based scheme in the Fig. 9 overload experiment.
+class StaticHashScheduler : public Scheduler {
+ public:
+  /// `num_buckets` = size of the indirection table (0 = 16x the core count,
+  /// rounded up to a power of two, so remapping granularity is fine-grained
+  /// as in Dittmann's design).
+  explicit StaticHashScheduler(std::size_t num_buckets = 0)
+      : num_buckets_(num_buckets) {}
+
+  void attach(std::size_t num_cores) override;
+
+  CoreId schedule(const SimPacket& pkt, const NpuView& view) override;
+
+  std::string name() const override { return "StaticHash"; }
+
+ protected:
+  /// Bucket index of a packet: CRC16(5-tuple) mod table size.
+  std::size_t bucket_of(const SimPacket& pkt) const {
+    return pkt.tuple.crc16() % table_.size();
+  }
+
+  std::size_t num_buckets_;
+  std::vector<CoreId> table_;  // bucket -> core
+  std::size_t num_cores_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,78 @@
+#include "cache/afd.h"
+
+namespace laps {
+
+Afd::Afd(const AfdConfig& config)
+    : config_(config),
+      afc_(config.afc_entries),
+      annex_(config.annex_entries),
+      rng_(config.seed) {}
+
+void Afd::access(std::uint64_t flow_key) {
+  ++stats_.accesses;
+  if (config_.sample_probability < 1.0 &&
+      !rng_.chance(config_.sample_probability)) {
+    return;
+  }
+  ++stats_.sampled;
+
+  // 1. AFC hit: just bump the hit counter (paper: "If it is a hit in AFC,
+  //    the hit counter is incremented").
+  if (afc_.touch(flow_key)) {
+    ++stats_.afc_hits;
+  } else if (auto count = annex_.touch(flow_key)) {
+    // 2. Annex hit: increment and compare against the promotion threshold
+    //    (paper: "If the hit count exceeds the threshold, the flow is
+    //    promoted to AFC"). Optionally also require the candidate to beat
+    //    the weakest AFC resident (see AfdConfig::require_beat_afc_min).
+    ++stats_.annex_hits;
+    const bool beats_afc = !config_.require_beat_afc_min ||
+                           afc_.size() < afc_.capacity() ||
+                           *count > afc_.min_freq();
+    if (*count > config_.promote_threshold && beats_afc) {
+      const auto promoted = annex_.erase(flow_key);
+      const auto victim = afc_.insert(flow_key, promoted->freq);
+      ++stats_.promotions;
+      if (victim) {
+        // 3. The AFC victim is placed in the annex cache (victim-cache
+        //    behaviour), keeping its counter so it retains inertia.
+        annex_.insert(victim->key, victim->freq);
+        ++stats_.demotions;
+      }
+    }
+  } else {
+    // 4. Miss in both: the flow replaces the LFU flow of the annex.
+    annex_.insert(flow_key, 1);
+    ++stats_.annex_inserts;
+  }
+
+  if (config_.aging_period != 0 &&
+      stats_.sampled % config_.aging_period == 0) {
+    afc_.age_halve();
+    annex_.age_halve();
+  }
+}
+
+bool Afd::is_aggressive(std::uint64_t flow_key) const {
+  return afc_.contains(flow_key);
+}
+
+void Afd::invalidate(std::uint64_t flow_key) {
+  if (afc_.erase(flow_key)) ++stats_.invalidations;
+}
+
+std::vector<std::uint64_t> Afd::aggressive_flows() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(afc_.size());
+  for (const auto& entry : afc_.entries()) out.push_back(entry.key);
+  return out;
+}
+
+void Afd::reset() {
+  afc_.clear();
+  annex_.clear();
+  stats_ = AfdStats{};
+  rng_.reseed(config_.seed);
+}
+
+}  // namespace laps

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/lfu_cache.h"
+#include "util/rng.h"
+
+namespace laps {
+
+/// Configuration of the Aggressive Flow Detector (paper Sec. III-F, Fig. 4).
+struct AfdConfig {
+  /// Aggressive Flow Cache entries. The paper fixes this at 16: the AFC
+  /// holds exactly the flows the scheduler is allowed to migrate.
+  std::size_t afc_entries = 16;
+  /// Annex cache entries; the qualifying filter in front of the AFC.
+  /// Fig. 8a sweeps 64..1024.
+  std::size_t annex_entries = 512;
+  /// A flow is promoted from annex to AFC once its annex hit counter
+  /// exceeds this threshold ("compared with a predefined threshold").
+  std::uint64_t promote_threshold = 8;
+  /// Probability that a packet accesses the AFD at all (Fig. 8c sampling
+  /// experiment). 1.0 = every packet.
+  double sample_probability = 1.0;
+  /// If nonzero, every `aging_period` sampled accesses all counters are
+  /// halved, modeling periodic decay of small hardware rate counters.
+  /// Aging biases the detector toward *recently* aggressive flows; the
+  /// paper's AFD (and the default here) keeps cumulative counters, which
+  /// also retain elephants through quiet phases. Exercised by the
+  /// sensitivity ablation.
+  std::uint64_t aging_period = 0;
+  /// If true, a full AFC additionally requires the candidate's annex count
+  /// to beat the weakest AFC resident before promoting. The paper's AFD
+  /// promotes on the threshold alone (Sec. III-F), accepting boundary churn
+  /// that aging later corrects; the guard is kept as an ablation (it
+  /// freezes the AFC when the annex is too small to requalify elephants).
+  bool require_beat_afc_min = false;
+  /// Seed for the sampling coin (only used when sample_probability < 1).
+  std::uint64_t seed = 0x5EED0AFD;
+};
+
+/// Running counters exposed for tests and benches.
+struct AfdStats {
+  std::uint64_t accesses = 0;        ///< packets offered to the AFD
+  std::uint64_t sampled = 0;         ///< packets that passed sampling
+  std::uint64_t afc_hits = 0;
+  std::uint64_t annex_hits = 0;
+  std::uint64_t annex_inserts = 0;   ///< misses that installed a new flow
+  std::uint64_t promotions = 0;      ///< annex -> AFC moves
+  std::uint64_t demotions = 0;       ///< AFC victims parked back in annex
+  std::uint64_t invalidations = 0;   ///< scheduler-initiated removals
+};
+
+/// Aggressive Flow Detector: the paper's two-level caching scheme for
+/// identifying top heavy-hitter flows at line rate.
+///
+/// Structure (paper Fig. 4): a tiny fully-associative LFU cache (the AFC)
+/// holds the flows currently believed aggressive; a larger LFU *annex cache*
+/// sits in front of it as a qualifying station. A flow enters the AFC only
+/// after proving locality in the annex (hit counter exceeding a threshold),
+/// so one-packet "mice" can never displace an elephant from the AFC. The
+/// annex doubles as a victim cache: AFC victims are parked there with their
+/// counters, giving them inertia to re-enter.
+///
+/// The scheduler treats *AFC membership* as the aggressiveness predicate:
+/// under load imbalance, a flow that hits in the AFC is migrated and then
+/// invalidated (paper Listing 1).
+class Afd {
+ public:
+  explicit Afd(const AfdConfig& config);
+
+  /// Feeds one packet's flow key through the detector. Counter and
+  /// promotion bookkeeping happens here; this is off the scheduler's
+  /// critical path in hardware (Sec. III-G).
+  void access(std::uint64_t flow_key);
+
+  /// True if the flow is currently classified aggressive (AFC resident).
+  /// Read-only: does not perturb counters, matching the hardware lookup the
+  /// scheduler performs in Listing 1.
+  bool is_aggressive(std::uint64_t flow_key) const;
+
+  /// Removes a flow from the AFC after the scheduler migrated it
+  /// (Listing 1 line 8: `AFC.invalidate(flowID)`).
+  void invalidate(std::uint64_t flow_key);
+
+  /// Current AFC contents, most-frequent first. Size <= afc_entries.
+  std::vector<std::uint64_t> aggressive_flows() const;
+
+  /// AFC occupancy.
+  std::size_t afc_size() const { return afc_.size(); }
+  /// Annex occupancy.
+  std::size_t annex_size() const { return annex_.size(); }
+
+  const AfdConfig& config() const { return config_; }
+  const AfdStats& stats() const { return stats_; }
+
+  /// Clears both caches and statistics.
+  void reset();
+
+ private:
+  AfdConfig config_;
+  LfuCache<std::uint64_t> afc_;
+  LfuCache<std::uint64_t> annex_;
+  AfdStats stats_;
+  Rng rng_;
+};
+
+}  // namespace laps

@@ -1,0 +1,49 @@
+#include "cache/elephant_trap.h"
+
+#include <stdexcept>
+
+namespace laps {
+
+ElephantTrap::ElephantTrap(std::size_t entries, std::size_t top_k)
+    : cache_(entries), top_k_(top_k) {
+  if (top_k == 0 || top_k > entries) {
+    throw std::invalid_argument("ElephantTrap: top_k must be in [1, entries]");
+  }
+}
+
+void ElephantTrap::access(std::uint64_t flow_key) {
+  ++accesses_;
+  if (cache_.touch(flow_key)) {
+    ++hits_;
+  } else {
+    cache_.insert(flow_key, 1);
+  }
+}
+
+std::vector<std::uint64_t> ElephantTrap::elephants() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(top_k_);
+  for (const auto& entry : cache_.entries()) {
+    if (out.size() == top_k_) break;
+    out.push_back(entry.key);
+  }
+  return out;
+}
+
+bool ElephantTrap::is_elephant(std::uint64_t flow_key) const {
+  std::size_t rank = 0;
+  for (const auto& entry : cache_.entries()) {
+    if (rank == top_k_) return false;
+    if (entry.key == flow_key) return true;
+    ++rank;
+  }
+  return false;
+}
+
+void ElephantTrap::reset() {
+  cache_.clear();
+  accesses_ = 0;
+  hits_ = 0;
+}
+
+}  // namespace laps

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/lfu_cache.h"
+
+namespace laps {
+
+/// Single-level cache heavy-hitter detector in the style of ElephantTrap
+/// (Lu et al., HOTI 2007) — the closest prior work the paper compares its
+/// AFD against conceptually (Sec. VI: "a single cache is used to identify
+/// elephant flows. Our experiments show that such a scheme can result in a
+/// large number of false positives").
+///
+/// A single LFU cache of `entries` flows; the `top_k` highest-counter
+/// residents are reported as elephants. Because every miss installs the new
+/// flow directly into the one cache, a burst of mice can displace elephants
+/// — exactly the failure mode the AFD's annex filter removes. Used by the
+/// `abl_single_vs_two_level` ablation bench.
+class ElephantTrap {
+ public:
+  ElephantTrap(std::size_t entries, std::size_t top_k);
+
+  /// Feeds one packet's flow key.
+  void access(std::uint64_t flow_key);
+
+  /// The current top-k residents by counter, most frequent first.
+  std::vector<std::uint64_t> elephants() const;
+
+  /// True if `flow_key` is among the current top-k residents.
+  bool is_elephant(std::uint64_t flow_key) const;
+
+  std::size_t size() const { return cache_.size(); }
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t hits() const { return hits_; }
+
+  void reset();
+
+ private:
+  LfuCache<std::uint64_t> cache_;
+  std::size_t top_k_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace laps

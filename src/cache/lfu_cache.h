@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <list>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace laps {
+
+/// Fully-associative cache with Least-Frequently-Used replacement.
+///
+/// This models the hardware structures of the paper's Aggressive Flow
+/// Detector: both the Aggressive Flow Cache (AFC) and the annex cache are
+/// small fully-associative LFU caches (Sec. III-F). The implementation uses
+/// the classic O(1) LFU algorithm (frequency buckets holding LRU-ordered
+/// entry lists), so software simulation cost does not grow with cache size
+/// — important because Fig. 8a sweeps the annex up to 1024 entries over
+/// multi-million-packet traces.
+///
+/// Ties within a frequency are broken LRU (the least recently touched entry
+/// of the minimum frequency is evicted), which is what a hardware LFU with a
+/// secondary recency bit does.
+template <typename Key>
+class LfuCache {
+ public:
+  /// One cache entry as seen by callers: the key and its frequency counter.
+  struct Entry {
+    Key key;
+    std::uint64_t freq;
+  };
+
+  explicit LfuCache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("LfuCache: capacity 0");
+    index_.reserve(capacity * 2);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return index_.size(); }
+  bool full() const { return size() == capacity_; }
+
+  /// True if `key` is cached. Does not change replacement state.
+  bool contains(const Key& key) const { return index_.count(key) > 0; }
+
+  /// Frequency counter of `key`, or nullopt if absent. Read-only.
+  std::optional<std::uint64_t> freq_of(const Key& key) const {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    return it->second.node->freq;
+  }
+
+  /// Cache access: if `key` is present, increments its counter and returns
+  /// the new value; otherwise returns nullopt (caller decides whether to
+  /// insert — the AFD's promotion logic needs that decision to be separate).
+  std::optional<std::uint64_t> touch(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    promote_node(it->second, it->second.node->freq + 1);
+    return it->second.node->freq;
+  }
+
+  /// Inserts `key` with initial frequency `freq` (default 1). If the cache
+  /// is full, evicts and returns the LFU victim. Inserting an existing key
+  /// overwrites its frequency. Returns nullopt when nothing was evicted.
+  std::optional<Entry> insert(const Key& key, std::uint64_t freq = 1) {
+    auto existing = index_.find(key);
+    if (existing != index_.end()) {
+      promote_node(existing->second, freq);
+      return std::nullopt;
+    }
+    std::optional<Entry> victim;
+    if (full()) victim = evict_lfu();
+    auto& bucket = buckets_[freq];
+    bucket.push_front(Node{key, freq});
+    index_.emplace(key, Locator{freq, bucket.begin()});
+    return victim;
+  }
+
+  /// Removes `key`; returns its entry if it was present.
+  std::optional<Entry> erase(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    const Entry out{key, it->second.node->freq};
+    detach(it->second);
+    index_.erase(it);
+    return out;
+  }
+
+  /// Evicts the least-frequently-used entry (LRU among ties). The cache
+  /// must not be empty.
+  Entry evict_lfu() {
+    if (index_.empty()) throw std::logic_error("LfuCache: evict on empty");
+    auto bucket_it = buckets_.begin();  // minimum frequency
+    Node& node = bucket_it->second.back();
+    const Entry out{node.key, node.freq};
+    index_.erase(node.key);
+    bucket_it->second.pop_back();
+    if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+    return out;
+  }
+
+  /// Minimum frequency currently cached; 0 if empty.
+  std::uint64_t min_freq() const {
+    return buckets_.empty() ? 0 : buckets_.begin()->first;
+  }
+
+  /// Snapshot of all entries, most-frequent first (ties: most recent first).
+  std::vector<Entry> entries() const {
+    std::vector<Entry> out;
+    out.reserve(size());
+    for (auto it = buckets_.rbegin(); it != buckets_.rend(); ++it) {
+      for (const Node& n : it->second) out.push_back(Entry{n.key, n.freq});
+    }
+    return out;
+  }
+
+  /// Halves every frequency counter (integer division, minimum 1), modeling
+  /// the periodic aging of hardware rate counters. When two old counts
+  /// collapse into the same new tier, the entry that had the *higher* old
+  /// count is placed nearer the protected (recent) end: it demonstrated
+  /// more locality, so it should outlive the tier's existing entries.
+  /// Without this, a decayed elephant would land at the eviction end of the
+  /// count-1 tier and be thrown out ahead of one-hit mice.
+  void age_halve() {
+    std::map<std::uint64_t, std::list<Node>> aged;
+    // Iterate descending old frequency so higher-old-count entries are
+    // appended first (end of list = eviction side; begin = protected side).
+    // Within one old frequency, preserve existing LRU order.
+    for (auto bucket_it = buckets_.rbegin(); bucket_it != buckets_.rend();
+         ++bucket_it) {
+      const std::uint64_t nf =
+          bucket_it->first / 2 > 0 ? bucket_it->first / 2 : 1;
+      auto& dst = aged[nf];
+      auto& src = bucket_it->second;
+      for (auto it = src.begin(); it != src.end();) {
+        auto next = std::next(it);
+        it->freq = nf;
+        dst.splice(dst.end(), src, it);
+        it = next;
+      }
+    }
+    buckets_ = std::move(aged);
+    for (auto& [freq, bucket] : buckets_) {
+      for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+        index_[it->key] = Locator{freq, it};
+      }
+    }
+  }
+
+  /// Removes every entry.
+  void clear() {
+    buckets_.clear();
+    index_.clear();
+  }
+
+ private:
+  struct Node {
+    Key key;
+    std::uint64_t freq;
+  };
+  struct Locator {
+    std::uint64_t freq;
+    typename std::list<Node>::iterator node;
+  };
+
+  void detach(const Locator& loc) {
+    auto bucket_it = buckets_.find(loc.freq);
+    bucket_it->second.erase(loc.node);
+    if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+  }
+
+  void promote_node(Locator& loc, std::uint64_t new_freq) {
+    const Key key = loc.node->key;
+    detach(loc);
+    auto& bucket = buckets_[new_freq];
+    bucket.push_front(Node{key, new_freq});
+    loc = Locator{new_freq, bucket.begin()};
+  }
+
+  std::size_t capacity_;
+  // freq -> entries at that freq, front = most recently touched.
+  std::map<std::uint64_t, std::list<Node>> buckets_;
+  std::unordered_map<Key, Locator> index_;
+};
+
+}  // namespace laps

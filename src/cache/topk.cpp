@@ -1,0 +1,51 @@
+#include "cache/topk.h"
+
+#include <algorithm>
+
+namespace laps {
+
+std::uint64_t ExactTopK::count(std::uint64_t flow_key) const {
+  const auto it = counts_.find(flow_key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::uint64_t> ExactTopK::top_k(std::size_t k) const {
+  // Partial-sort a (count, key) scratch vector; n log k with a heap would
+  // save little here because the map walk already dominates.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items;
+  items.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) items.emplace_back(count, key);
+  const std::size_t take = std::min(k, items.size());
+  std::partial_sort(items.begin(), items.begin() + static_cast<std::ptrdiff_t>(take),
+                    items.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<std::uint64_t> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(items[i].second);
+  return out;
+}
+
+std::unordered_set<std::uint64_t> ExactTopK::top_k_set(std::size_t k) const {
+  const auto keys = top_k(k);
+  return {keys.begin(), keys.end()};
+}
+
+DetectorAccuracy score_detector(const ExactTopK& truth,
+                                const std::vector<std::uint64_t>& claimed,
+                                std::size_t k) {
+  const auto truth_set = truth.top_k_set(k);
+  DetectorAccuracy acc;
+  acc.claimed = claimed.size();
+  for (std::uint64_t key : claimed) {
+    if (truth_set.count(key)) {
+      ++acc.true_positives;
+    } else {
+      ++acc.false_positives;
+    }
+  }
+  return acc;
+}
+
+}  // namespace laps

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace laps {
+
+/// Exact per-flow packet counter — the "off-line analysis" ground truth of
+/// the paper (Sec. V-B): a perfectly accurate AFC would hold the IDs of the
+/// top-16 flows by packet count. Also models the infeasible-in-hardware
+/// per-flow statistics that Shi et al. [37] assume, which the oracle
+/// scheduler baseline uses.
+class ExactTopK {
+ public:
+  ExactTopK() = default;
+
+  /// Counts one packet of `flow_key`.
+  void access(std::uint64_t flow_key) { ++counts_[flow_key]; ++total_; }
+
+  /// Exact count of a flow so far.
+  std::uint64_t count(std::uint64_t flow_key) const;
+
+  /// The k flows with the largest counts, descending (ties broken by key so
+  /// results are deterministic). O(n log k).
+  std::vector<std::uint64_t> top_k(std::size_t k) const;
+
+  /// top_k() as a set, for O(1) membership checks in accuracy evaluation.
+  std::unordered_set<std::uint64_t> top_k_set(std::size_t k) const;
+
+  /// Number of distinct flows observed.
+  std::size_t distinct() const { return counts_.size(); }
+  /// Number of packets observed.
+  std::uint64_t total() const { return total_; }
+
+  void reset() { counts_.clear(); total_ = 0; }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Compares a detector's claimed aggressive set against exact ground truth.
+///
+/// Paper definition (Sec. V-B): with a 16-entry AFC, "a flow found in AFC
+/// which is not among the top 16 flows identified by off-line analysis is
+/// considered a false positive", and FPR = false positives / total entries.
+struct DetectorAccuracy {
+  std::size_t claimed = 0;          ///< entries in the detector (<= 16)
+  std::size_t false_positives = 0;  ///< claimed but not in true top-k
+  std::size_t true_positives = 0;   ///< claimed and in true top-k
+
+  /// false positives / claimed entries; 0 when nothing is claimed.
+  double false_positive_ratio() const {
+    return claimed == 0
+               ? 0.0
+               : static_cast<double>(false_positives) /
+                     static_cast<double>(claimed);
+  }
+  /// true positives / k — "how many of the real top-k did we find".
+  double recall(std::size_t k) const {
+    return k == 0 ? 0.0
+                  : static_cast<double>(true_positives) /
+                        static_cast<double>(k);
+  }
+};
+
+/// Scores `claimed` against the exact top-k of `truth`. `relaxed_k` lets the
+/// caller reproduce the paper's observation that CAIDA "false positives"
+/// actually fall within the top-20 (use relaxed_k = 20 and k = 16).
+DetectorAccuracy score_detector(const ExactTopK& truth,
+                                const std::vector<std::uint64_t>& claimed,
+                                std::size_t k);
+
+}  // namespace laps

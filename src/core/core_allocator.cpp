@@ -1,0 +1,77 @@
+#include "core/core_allocator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace laps {
+
+CoreAllocator::CoreAllocator(std::size_t num_cores, std::size_t num_services,
+                             std::size_t min_cores)
+    : min_cores_(min_cores) {
+  if (num_services == 0) {
+    throw std::invalid_argument("CoreAllocator: no services");
+  }
+  if (num_cores < num_services) {
+    throw std::invalid_argument("CoreAllocator: fewer cores than services");
+  }
+  if (min_cores == 0) {
+    throw std::invalid_argument("CoreAllocator: min_cores must be >= 1");
+  }
+  owner_.resize(num_cores);
+  cores_of_.resize(num_services);
+  // Contiguous, as-even-as-possible split (16/4 -> 4 each, the paper's
+  // "at initialization, cores are equally divided among services").
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    const std::size_t service = c * num_services / num_cores;
+    owner_[c] = service;
+    cores_of_[service].push_back(static_cast<CoreId>(c));
+  }
+}
+
+void CoreAllocator::mark_surplus(CoreId core, TimeNs now) {
+  if (core >= owner_.size()) {
+    throw std::out_of_range("CoreAllocator: bad core id");
+  }
+  if (is_surplus(core)) return;
+  surplus_.push_back(Surplus{core, now});
+}
+
+void CoreAllocator::unmark_surplus(CoreId core) {
+  const auto it = std::find_if(
+      surplus_.begin(), surplus_.end(),
+      [core](const Surplus& s) { return s.core == core; });
+  if (it != surplus_.end()) surplus_.erase(it);
+}
+
+bool CoreAllocator::is_surplus(CoreId core) const {
+  return std::any_of(surplus_.begin(), surplus_.end(),
+                     [core](const Surplus& s) { return s.core == core; });
+}
+
+std::optional<CoreId> CoreAllocator::grant_core(std::size_t service) {
+  if (service >= cores_of_.size()) {
+    throw std::out_of_range("CoreAllocator: bad service id");
+  }
+  // Longest-marked eligible core: marked earliest, owned by another
+  // service, and its owner keeps at least min_cores cores after donating.
+  auto best = surplus_.end();
+  for (auto it = surplus_.begin(); it != surplus_.end(); ++it) {
+    const std::size_t victim = owner_[it->core];
+    if (victim == service) continue;
+    if (cores_of_[victim].size() <= min_cores_) continue;
+    if (best == surplus_.end() || it->since < best->since) best = it;
+  }
+  if (best == surplus_.end()) return std::nullopt;
+
+  const CoreId core = best->core;
+  surplus_.erase(best);
+  const std::size_t victim = owner_[core];
+  auto& victim_cores = cores_of_[victim];
+  victim_cores.erase(std::find(victim_cores.begin(), victim_cores.end(), core));
+  owner_[core] = service;
+  cores_of_[service].push_back(core);
+  ++transfers_;
+  return core;
+}
+
+}  // namespace laps

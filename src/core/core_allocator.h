@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/time.h"
+
+namespace laps {
+
+/// Dynamic core-to-service ownership with the paper's surplus-core protocol
+/// (Sec. III-C/III-D):
+///
+///  * at initialization cores are divided equally among services;
+///  * a core idle for `idle_th` is *marked surplus* but stays allocated to
+///    its service (cheap to reclaim — no context switch);
+///  * a service that runs out of capacity requests a core; the allocator
+///    grants the core that has been surplus the longest ("least utility for
+///    the victim service"), never starving a service below `min_cores`.
+class CoreAllocator {
+ public:
+  /// `num_cores` cores split contiguously and as evenly as possible among
+  /// `num_services` services. Requires num_cores >= num_services so every
+  /// service starts with at least one core.
+  CoreAllocator(std::size_t num_cores, std::size_t num_services,
+                std::size_t min_cores = 1);
+
+  /// Owning service of a core.
+  std::size_t owner(CoreId core) const { return owner_.at(core); }
+
+  /// Cores currently owned by a service, in grant order.
+  const std::vector<CoreId>& cores_of(std::size_t service) const {
+    return cores_of_.at(service);
+  }
+
+  /// Marks a core surplus at `now`; no-op if already marked. Must be owned.
+  void mark_surplus(CoreId core, TimeNs now);
+
+  /// Clears a surplus mark (the owning service touched the core again).
+  /// No-op if not marked.
+  void unmark_surplus(CoreId core);
+
+  bool is_surplus(CoreId core) const;
+
+  /// Number of cores currently marked surplus.
+  std::size_t surplus_count() const { return surplus_.size(); }
+
+  /// Grants `service` the longest-surplus core owned by a *different*
+  /// service whose owner would keep at least `min_cores` cores. Transfers
+  /// ownership and clears the mark. Returns nullopt when no eligible core
+  /// exists — the paper's "all cores overloaded" case, where packets simply
+  /// keep dropping until traffic subsides.
+  std::optional<CoreId> grant_core(std::size_t service);
+
+  std::size_t num_cores() const { return owner_.size(); }
+  std::size_t num_services() const { return cores_of_.size(); }
+
+  /// Total ownership transfers so far (reported as reallocations).
+  std::uint64_t transfers() const { return transfers_; }
+
+ private:
+  struct Surplus {
+    CoreId core;
+    TimeNs since;
+  };
+
+  std::vector<std::size_t> owner_;
+  std::vector<std::vector<CoreId>> cores_of_;
+  std::vector<Surplus> surplus_;  // tiny; linear scans are fine
+  std::size_t min_cores_;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,347 @@
+#include "core/laps.h"
+
+#include <stdexcept>
+
+namespace laps {
+
+LapsScheduler::LapsScheduler(LapsConfig config) : config_(config) {
+  if (config_.num_services == 0) {
+    throw std::invalid_argument("LapsScheduler: num_services == 0");
+  }
+}
+
+void LapsScheduler::attach(std::size_t num_cores) {
+  allocator_ = std::make_unique<CoreAllocator>(
+      num_cores, config_.num_services, config_.min_cores_per_service);
+  afd_ = std::make_unique<Afd>(config_.afd);
+  map_tables_.clear();
+  migration_tables_.clear();
+  for (std::size_t s = 0; s < config_.num_services; ++s) {
+    // Round-robin the service's cores over entries_per_core virtual
+    // buckets each, so per-core load skew from linear hashing's split
+    // structure averages out (see LapsConfig::entries_per_core).
+    const auto& owned = allocator_->cores_of(s);
+    std::vector<CoreId> buckets;
+    buckets.reserve(owned.size() * config_.entries_per_core);
+    for (std::size_t rep = 0; rep < config_.entries_per_core; ++rep) {
+      for (CoreId core : owned) buckets.push_back(core);
+    }
+    map_tables_.emplace_back(std::move(buckets));
+    migration_tables_.emplace_back(config_.migration_table_capacity);
+  }
+  aggressive_migrations_ = 0;
+  core_requests_ = 0;
+  core_requests_denied_ = 0;
+  stale_pins_dropped_ = 0;
+
+  parked_.assign(num_cores, false);
+  surplus_since_.assign(num_cores, -1);
+  parked_since_.assign(num_cores, 0);
+  no_park_until_.assign(num_cores, 0);
+  window_packets_.assign(config_.num_services, 0);
+  window_core_max_.assign(num_cores, 0);
+  no_consolidate_until_.assign(config_.num_services, 0);
+  wake_strikes_.assign(config_.num_services, 0);
+  slack_streak_.assign(config_.num_services, 0);
+  parked_total_ns_ = 0;
+  last_now_ = 0;
+  sleep_events_ = 0;
+  wake_events_ = 0;
+}
+
+void LapsScheduler::add_core_buckets(std::size_t service, CoreId core) {
+  for (std::size_t rep = 0; rep < config_.entries_per_core; ++rep) {
+    map_tables_[service].add_core(core);
+  }
+}
+
+bool LapsScheduler::wake_core(CoreId core, TimeNs now) {
+  if (!parked_[core]) return false;
+  parked_[core] = false;
+  parked_total_ns_ += now - parked_since_[core];
+  // Post-wake hysteresis: a core that was just needed is likely to be
+  // needed again; without this, moderate load makes cores thrash through
+  // hundreds of sleep/wake cycles (each one churns the map table).
+  no_park_until_[core] = now + 10 * config_.sleep_after;
+  ++wake_events_;
+  return true;
+}
+
+void LapsScheduler::update_parking(TimeNs now) {
+  if (!config_.power_gating) return;
+  for (CoreId c = 0; c < static_cast<CoreId>(parked_.size()); ++c) {
+    if (parked_[c] || surplus_since_[c] < 0) continue;
+    if (now - surplus_since_[c] < config_.sleep_after) continue;
+    if (now < no_park_until_[c]) continue;
+    const std::size_t owner = allocator_->owner(c);
+    // The owner must keep at least min_cores powered cores.
+    std::size_t unparked = 0;
+    for (CoreId other : allocator_->cores_of(owner)) {
+      unparked += !parked_[other];
+    }
+    if (unparked <= config_.min_cores_per_service) continue;
+    park_core(owner, c, now);
+  }
+}
+
+void LapsScheduler::park_core(std::size_t service, CoreId core, TimeNs now) {
+  // Park: the core leaves the routing tables but stays owned, so waking
+  // it later needs no context switch (its I-cache still holds the
+  // owner's program).
+  while (map_tables_[service].contains(core)) {
+    if (!map_tables_[service].remove_core(core)) break;
+  }
+  migration_tables_[service].remove_core_entries(core);
+  parked_[core] = true;
+  parked_since_[core] = now;
+  ++sleep_events_;
+}
+
+void LapsScheduler::update_consolidation(std::size_t service, CoreId target,
+                                         const NpuView& view) {
+  // Record this dispatch in the target core's window maximum. The target
+  // is always owned by `service`, so per-core maxima partition cleanly.
+  const std::uint32_t depth = view.cores()[target].queue_len;
+  if (depth > window_core_max_[target]) window_core_max_[target] = depth;
+  if (++window_packets_[service] < config_.consolidate_window) {
+    return;
+  }
+  window_packets_[service] = 0;
+
+  // Window end: park the coldest core — the one whose own queue never
+  // reached the watermark all window (cores that received nothing have a
+  // window max of 0 and are the first to fold).
+  const TimeNs now = view.now();
+  std::size_t unparked = 0;
+  CoreId victim = 0;
+  bool have = false;
+  std::uint32_t victim_max = 0;
+  for (CoreId core : allocator_->cores_of(service)) {
+    if (parked_[core]) {
+      window_core_max_[core] = 0;
+      continue;
+    }
+    ++unparked;
+    const std::uint32_t core_max = window_core_max_[core];
+    window_core_max_[core] = 0;
+    if (now < no_park_until_[core]) continue;
+    if (!have || core_max < victim_max) {
+      have = true;
+      victim_max = core_max;
+      victim = core;
+    }
+  }
+  // Require the slack to persist for two consecutive windows before
+  // parking: one quiet window at moderate load is common, and a premature
+  // park costs a wake plus map-table churn.
+  if (have && victim_max < config_.consolidate_watermark) {
+    ++slack_streak_[service];
+  } else {
+    slack_streak_[service] = 0;
+  }
+  if (slack_streak_[service] >= 2 &&
+      unparked > config_.min_cores_per_service &&
+      now >= no_consolidate_until_[service]) {
+    park_core(service, victim, now);
+    slack_streak_[service] = 0;
+  }
+}
+
+void LapsScheduler::update_surplus_marks(const NpuView& view) {
+  const TimeNs now = view.now();
+  const auto cores = view.cores();
+  for (CoreId c = 0; c < static_cast<CoreId>(cores.size()); ++c) {
+    const CoreView& v = cores[c];
+    if (v.idle_since >= 0 && now - v.idle_since >= config_.idle_th) {
+      allocator_->mark_surplus(c, v.idle_since + config_.idle_th);
+      if (surplus_since_[c] < 0) {
+        surplus_since_[c] = v.idle_since + config_.idle_th;
+      }
+    }
+  }
+}
+
+CoreId LapsScheduler::least_loaded_of(std::size_t service,
+                                      const NpuView& view) const {
+  // Parked cores are powered down and must not receive migrated flows;
+  // with power gating at least min_cores stay unparked, so a candidate
+  // always exists.
+  const auto& owned = allocator_->cores_of(service);
+  CoreId best = owned.front();
+  bool have = false;
+  std::uint32_t best_load = 0;
+  for (CoreId core : owned) {
+    if (parked_[core]) continue;
+    const std::uint32_t load = view.load(core);
+    if (!have || load < best_load) {
+      have = true;
+      best_load = load;
+      best = core;
+    }
+  }
+  return best;
+}
+
+bool LapsScheduler::request_core(std::size_t service) {
+  ++core_requests_;
+  // Power gating: reclaim the service's own parked cores first — the
+  // paper's Sec. III-D "unmarked and removed from the list of surplus
+  // cores without incurring the overhead of context switch".
+  if (config_.power_gating) {
+    for (CoreId core : allocator_->cores_of(service)) {
+      if (!parked_[core]) continue;
+      wake_core(core, last_now_);
+      surplus_since_[core] = -1;
+      allocator_->unmark_surplus(core);
+      add_core_buckets(service, core);
+      return true;
+    }
+  }
+  const auto granted = allocator_->grant_core(service);
+  if (!granted) {
+    ++core_requests_denied_;
+    return false;
+  }
+  const CoreId core = *granted;
+  wake_core(core, last_now_);
+  surplus_since_[core] = -1;
+  // Scrub the donor's routing state: its buckets leave the list one by one
+  // (each removal shifts later buckets, but the donor is lightly loaded —
+  // Sec. III-D accepts this) and any migration pins to the departed core
+  // are dropped.
+  for (std::size_t s = 0; s < config_.num_services; ++s) {
+    if (s == service) continue;
+    while (map_tables_[s].contains(core)) {
+      if (!map_tables_[s].remove_core(core)) break;
+    }
+    migration_tables_[s].remove_core_entries(core);
+  }
+  add_core_buckets(service, core);
+  return true;
+}
+
+CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
+  const std::size_t service = service_index(pkt.service);
+  const std::uint64_t key = pkt.flow_key();
+
+  // The AFD observes every packet in the background (Sec. III-G: not on the
+  // critical path; sampling is handled inside per Fig. 8c).
+  afd_->access(key);
+  last_now_ = view.now();
+  update_surplus_marks(view);
+  update_parking(last_now_);
+
+  // Step 1: migration-table override. A pin whose core left the service is
+  // stale (can happen if remove_core_entries raced a reallocation) — drop
+  // it and fall through to the hash path.
+  CoreId target = 0;
+  bool pinned = false;
+  if (const auto pin = migration_tables_[service].lookup(key)) {
+    if (allocator_->owner(*pin) == service) {
+      target = *pin;
+      pinned = true;
+    } else {
+      migration_tables_[service].erase(key);
+      ++stale_pins_dropped_;
+    }
+  }
+  // Step 2: the service's map table via incremental hashing.
+  if (!pinned) {
+    target = map_tables_[service].core_for(pkt.tuple.crc16());
+  }
+
+  // Power gating: wake a parked core before queues overflow (wake-ahead),
+  // and consolidate onto fewer cores when a whole window shows slack.
+  if (config_.power_gating) {
+    update_consolidation(service, target, view);
+    const std::uint32_t watermark = config_.wake_watermark
+                                        ? config_.wake_watermark
+                                        : config_.high_thresh / 2;
+    if (view.cores()[target].queue_len >= watermark) {
+      for (CoreId core : allocator_->cores_of(service)) {
+        if (!parked_[core]) continue;
+        wake_core(core, last_now_);
+        surplus_since_[core] = -1;
+        allocator_->unmark_surplus(core);
+        add_core_buckets(service, core);
+        // Exponential backoff: every wake doubles the consolidation pause
+        // (capped), so a load level that keeps defeating parking converges
+        // to a stable, unparked configuration instead of cycling map-table
+        // churn forever.
+        const std::uint32_t strikes = std::min(wake_strikes_[service]++, 6u);
+        no_consolidate_until_[service] =
+            last_now_ + (config_.consolidate_backoff << strikes);
+        if (!pinned) {
+          target = map_tables_[service].core_for(pkt.tuple.crc16());
+        }
+        break;
+      }
+    }
+    // Consolidation may have just parked this packet's target (its buckets
+    // are gone, but the lookup above preceded the park): re-route.
+    if (parked_[target]) {
+      target = pinned ? least_loaded_of(service, view)
+                      : map_tables_[service].core_for(pkt.tuple.crc16());
+    }
+  }
+
+  // Step 3/4: Listing 1 — load imbalance handling.
+  if (view.cores()[target].queue_len >= config_.high_thresh) {
+    const CoreId minq = least_loaded_of(service, view);
+    if (view.cores()[minq].queue_len < config_.high_thresh) {
+      if (!pinned && afd_->is_aggressive(key)) {
+        migration_tables_[service].add(key, minq);
+        afd_->invalidate(key);
+        ++aggressive_migrations_;
+        target = minq;
+      }
+    } else {
+      // Every core of this service is overloaded: the allocation is
+      // insufficient — request one more core and re-hash this packet so it
+      // can land on the (idle) newcomer.
+      if (request_core(service)) {
+        if (!pinned) {
+          target = map_tables_[service].core_for(pkt.tuple.crc16());
+        }
+      }
+    }
+  }
+
+  // The dispatch touches the core, so it is no longer reclaimable surplus.
+  allocator_->unmark_surplus(target);
+  surplus_since_[target] = -1;
+  return target;
+}
+
+std::map<std::string, double> LapsScheduler::extra_stats() const {
+  const AfdStats& afd_stats = afd_->stats();
+  TimeNs parked = parked_total_ns_;
+  for (CoreId c = 0; c < static_cast<CoreId>(parked_.size()); ++c) {
+    if (parked_[c]) parked += last_now_ - parked_since_[c];
+  }
+  if (config_.power_gating) {
+    return {
+        {"aggressive_migrations", static_cast<double>(aggressive_migrations_)},
+        {"core_requests", static_cast<double>(core_requests_)},
+        {"core_requests_denied", static_cast<double>(core_requests_denied_)},
+        {"core_transfers", static_cast<double>(allocator_->transfers())},
+        {"stale_pins_dropped", static_cast<double>(stale_pins_dropped_)},
+        {"afd_promotions", static_cast<double>(afd_stats.promotions)},
+        {"afd_afc_hits", static_cast<double>(afd_stats.afc_hits)},
+        {"parked_core_us", to_us(parked)},
+        {"sleep_events", static_cast<double>(sleep_events_)},
+        {"wake_events", static_cast<double>(wake_events_)},
+    };
+  }
+  return {
+      {"aggressive_migrations", static_cast<double>(aggressive_migrations_)},
+      {"core_requests", static_cast<double>(core_requests_)},
+      {"core_requests_denied", static_cast<double>(core_requests_denied_)},
+      {"core_transfers", static_cast<double>(allocator_->transfers())},
+      {"stale_pins_dropped", static_cast<double>(stale_pins_dropped_)},
+      {"afd_promotions", static_cast<double>(afd_stats.promotions)},
+      {"afd_afc_hits", static_cast<double>(afd_stats.afc_hits)},
+  };
+}
+
+}  // namespace laps

@@ -1,0 +1,190 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/afd.h"
+#include "core/core_allocator.h"
+#include "core/map_table.h"
+#include "core/migration_table.h"
+#include "sim/scheduler.h"
+
+namespace laps {
+
+/// Tunables of the Locality-Aware Packet Scheduler.
+struct LapsConfig {
+  /// Number of services sharing the NPU (the paper's multi-service router
+  /// has 4; the Fig. 9 experiment uses 1). Packets' ServicePath is reduced
+  /// modulo this count.
+  std::size_t num_services = 4;
+  /// Queue occupancy at which a core counts as overloaded — Listing 1's
+  /// load-imbalance condition and its `high_thresh` (default: 3/4 of the
+  /// 32-descriptor queue).
+  std::uint32_t high_thresh = 24;
+  /// Idle time after which a core is marked surplus (Sec. III-D idle_th).
+  /// The paper leaves the value open; 5 us (ten IP-forwarding service
+  /// times) is long enough that busy cores are never marked, yet short
+  /// enough that a lightly loaded service exposes donor cores while its
+  /// per-core arrival gaps are still only microseconds.
+  TimeNs idle_th = from_us(5.0);
+  /// Migration-table capacity (hardware CAM/SRAM size). Must comfortably
+  /// exceed the number of flows pinned over a run: when live pins are
+  /// evicted, their flows bounce back to the hash path and re-migrate,
+  /// inflating reordering (measured: 8x worse OOO at 128 entries under the
+  /// paper's threshold-only promotion rule, which pins thousands of flows
+  /// in sustained overload; the default AFC-min guard pins few enough that
+  /// capacity is rarely binding — see abl_laps_sensitivity).
+  std::size_t migration_table_capacity = 1024;
+  /// Every service keeps at least this many cores.
+  std::size_t min_cores_per_service = 1;
+  /// Power gating (extension; paper Sec. I cites traffic-aware power
+  /// management [20],[29] as a motivation for dynamic core allocation):
+  /// a core that has been surplus for `sleep_after` is *parked* — removed
+  /// from its service's map table and powered down — until its owner needs
+  /// it back or another service claims it. Parked core-time is reported in
+  /// extra_stats() so benches can translate it to energy.
+  bool power_gating = false;
+  TimeNs sleep_after = from_us(50.0);
+  /// Wake-ahead watermark: when a packet's target queue reaches this depth
+  /// and the service has parked cores, one is woken immediately — capacity
+  /// returns *before* queues overflow instead of waiting for the Listing-1
+  /// "all cores overloaded" signal. 0 = high_thresh / 2.
+  std::uint32_t wake_watermark = 16;
+  /// Consolidation: every `consolidate_window` packets of a service, the
+  /// core whose *own* maximum queue depth over the window stayed below
+  /// `consolidate_watermark` is parked (traffic folds onto the rest). Pure
+  /// idleness almost never parks anything above ~20% load because hashing
+  /// keeps every core trickling, and a global-max criterion is blinded by
+  /// one elephant-hot core; the per-core window maximum finds the cold
+  /// cores regardless (Iqbal & John, ANCS'12 follow the same principle).
+  std::uint64_t consolidate_window = 4'096;
+  std::uint32_t consolidate_watermark = 3;
+  /// After any wake in a service, consolidation in that service pauses for
+  /// this long. A wake is evidence the last park was premature; without
+  /// the backoff, park/wake cycles churn the map table (and its FM
+  /// penalties cost more energy than the parking saves).
+  TimeNs consolidate_backoff = from_us(2'000.0);
+  /// Map-table entries per core. With a single entry per core, linear
+  /// hashing leaves unsplit buckets carrying twice the traffic of split
+  /// ones whenever b is not a power of two — a structural 2x per-core skew
+  /// that no amount of elephant migration can remove. Spreading each core
+  /// over several smaller buckets (round-robin) averages that skew away;
+  /// 8 keeps the residual under ~12% while the table stays tiny.
+  std::size_t entries_per_core = 8;
+  /// Aggressive Flow Detector configuration; afd.afc_entries is the paper's
+  /// "top K" knob swept in Fig. 9. The scheduler defaults the AFC-min
+  /// promotion guard ON (see make_default_afd below): migrating a false
+  /// positive costs real FM penalties and reordering, so the integrated
+  /// detector is tuned stricter than the standalone one.
+  AfdConfig afd = make_default_afd();
+
+  static AfdConfig make_default_afd() {
+    AfdConfig cfg;
+    cfg.require_beat_afc_min = true;
+    return cfg;
+  }
+};
+
+/// LAPS — the paper's Locality-Aware Packet Scheduler (Sec. III, Fig. 3).
+///
+/// Decision path per packet (Sec. III-E):
+///   1. migration-table hit -> use the pinned core;
+///   2. otherwise CRC16(5-tuple) into the packet's *service* map table
+///      (incremental hashing, so core grants/releases barely disturb flows);
+///   3. under load imbalance, a flow that hits in the AFC is migrated to the
+///      service's least-loaded core and pinned in the migration table
+///      (Listing 1);
+///   4. if every core of the service is overloaded, request one more core —
+///      the allocator grants the longest-surplus core from another service.
+///
+/// Because each service owns its cores exclusively, a core's small I-cache
+/// only ever holds one program (until a reallocation), which is where the
+/// Fig. 7b cold-cache advantage comes from.
+class LapsScheduler final : public Scheduler {
+ public:
+  explicit LapsScheduler(LapsConfig config = {});
+
+  void attach(std::size_t num_cores) override;
+
+  CoreId schedule(const SimPacket& pkt, const NpuView& view) override;
+
+  std::string name() const override { return "LAPS"; }
+
+  std::map<std::string, double> extra_stats() const override;
+
+  // Introspection for tests.
+  const CoreAllocator& allocator() const { return *allocator_; }
+  const MapTable& map_table(std::size_t service) const {
+    return map_tables_.at(service);
+  }
+  const MigrationTable& migration_table(std::size_t service) const {
+    return migration_tables_.at(service);
+  }
+  const Afd& afd() const { return *afd_; }
+  const LapsConfig& config() const { return config_; }
+
+ private:
+  std::size_t service_index(ServicePath path) const {
+    return static_cast<std::size_t>(path) % config_.num_services;
+  }
+
+  /// Lazily advances the surplus timers: marks every core that has been
+  /// idle past idle_th (Sec. III-D). Called once per arrival; core counts
+  /// are small so the scan is trivial next to the simulated work.
+  void update_surplus_marks(const NpuView& view);
+
+  /// Least-loaded core among those owned by `service`.
+  CoreId least_loaded_of(std::size_t service, const NpuView& view) const;
+
+  /// Listing 1's request_core(): try to grow `service` by one core; updates
+  /// the victim's map/migration tables. With power gating, the service's
+  /// own parked cores are reclaimed first (no context switch needed, as
+  /// Sec. III-D intends). Returns true on success.
+  bool request_core(std::size_t service);
+
+  /// Parks eligible surplus cores (power gating); no-op when disabled.
+  void update_parking(TimeNs now);
+  /// Parks `core` of `service` (removes its buckets and pins). The caller
+  /// guarantees eligibility.
+  void park_core(std::size_t service, CoreId core, TimeNs now);
+  /// Window-based consolidation bookkeeping; called per dispatch with the
+  /// packet's target core.
+  void update_consolidation(std::size_t service, CoreId target,
+                            const NpuView& view);
+  /// Wakes a parked core, accounting its sleep span. Returns true if the
+  /// core was parked.
+  bool wake_core(CoreId core, TimeNs now);
+  /// Adds `core`'s virtual buckets to `service`'s map table.
+  void add_core_buckets(std::size_t service, CoreId core);
+
+  LapsConfig config_;
+  std::unique_ptr<CoreAllocator> allocator_;
+  std::unique_ptr<Afd> afd_;
+  std::vector<MapTable> map_tables_;
+  std::vector<MigrationTable> migration_tables_;
+
+  // Power gating state (empty when disabled).
+  std::vector<bool> parked_;
+  std::vector<TimeNs> surplus_since_;  // -1 = not marked by us
+  std::vector<TimeNs> parked_since_;
+  std::vector<TimeNs> no_park_until_;  // post-wake hysteresis deadline
+  // Per-service consolidation windows; per-core window-max queue depths
+  // (cores belong to exactly one service, so one global array suffices).
+  std::vector<std::uint64_t> window_packets_;
+  std::vector<std::uint32_t> window_core_max_;
+  std::vector<TimeNs> no_consolidate_until_;  // per service, set on wake
+  std::vector<std::uint32_t> wake_strikes_;   // per service, backoff doubling
+  std::vector<std::uint32_t> slack_streak_;   // consecutive slack windows
+  TimeNs parked_total_ns_ = 0;
+  TimeNs last_now_ = 0;
+  std::uint64_t sleep_events_ = 0;
+  std::uint64_t wake_events_ = 0;
+
+  // Counters for extra_stats().
+  std::uint64_t aggressive_migrations_ = 0;
+  std::uint64_t core_requests_ = 0;
+  std::uint64_t core_requests_denied_ = 0;
+  std::uint64_t stale_pins_dropped_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,39 @@
+#include "core/map_table.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace laps {
+
+MapTable::MapTable(std::vector<CoreId> initial_cores)
+    : buckets_(std::move(initial_cores)) {
+  if (buckets_.empty()) {
+    throw std::invalid_argument("MapTable: needs at least one core");
+  }
+  recompute_base();
+}
+
+void MapTable::recompute_base() {
+  m_ = std::bit_floor(buckets_.size());
+}
+
+void MapTable::add_core(CoreId core) {
+  buckets_.push_back(core);
+  recompute_base();
+}
+
+bool MapTable::remove_core(CoreId core) {
+  if (buckets_.size() <= 1) return false;
+  const auto it = std::find(buckets_.begin(), buckets_.end(), core);
+  if (it == buckets_.end()) return false;
+  buckets_.erase(it);
+  recompute_base();
+  return true;
+}
+
+bool MapTable::contains(CoreId core) const {
+  return std::find(buckets_.begin(), buckets_.end(), core) != buckets_.end();
+}
+
+}  // namespace laps

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace laps {
+
+/// Per-service map table with *incremental hashing* (paper Sec. III-C).
+///
+/// A service owns an ordered bucket list of core ids. Bucket selection uses
+/// linear hashing: with `b` buckets in use and `m` the largest power of two
+/// <= b,
+///
+///     h(k) = k % 2m   if (k % m) <  b - m     (split buckets)
+///          = k % m    otherwise               (unsplit buckets)
+///
+/// which is exactly the paper's h1/h2 pair: growing from b to b+1 splits a
+/// single bucket (only the flows that hashed to bucket b-m move, half of
+/// them to the new bucket b), and every other flow keeps its core. When b
+/// reaches 2m the modulus doubles — the paper's "h2(k) = CRC16(k) % 4m"
+/// step. Shrinking reverses a split the same way.
+///
+/// This is what lets LAPS reassign cores between services with minimal flow
+/// disruption, instead of the full remap a plain `% b` would cause.
+class MapTable {
+ public:
+  /// Starts with the given cores, one bucket each. Must be non-empty.
+  explicit MapTable(std::vector<CoreId> initial_cores);
+
+  /// Core for a 16-bit flow hash (the CRC16 of the 5-tuple).
+  CoreId core_for(std::uint16_t hash) const {
+    return buckets_[bucket_index(hash)];
+  }
+
+  /// Bucket index for a hash — exposed for the incremental-hashing tests
+  /// and the disruption ablation.
+  std::size_t bucket_index(std::uint16_t hash) const {
+    const std::size_t h1 = hash % m_;
+    if (h1 < buckets_.size() - m_) return hash % (2 * m_);
+    return h1;
+  }
+
+  /// Appends a newly granted core as bucket b (one split). O(1).
+  void add_core(CoreId core);
+
+  /// Removes the bucket holding `core` ("other core IDs will be shifted to
+  /// take the place of this ID", Sec. III-D) and decrements b. Returns false
+  /// if the core is not in the table or it is the last remaining bucket.
+  bool remove_core(CoreId core);
+
+  /// Number of buckets currently in use (the paper's `b`).
+  std::size_t size() const { return buckets_.size(); }
+
+  /// Current linear-hashing base (the paper's `m`).
+  std::size_t base() const { return m_; }
+
+  /// The bucket list, index -> core.
+  const std::vector<CoreId>& buckets() const { return buckets_; }
+
+  /// True if `core` appears in the bucket list.
+  bool contains(CoreId core) const;
+
+ private:
+  void recompute_base();
+
+  std::vector<CoreId> buckets_;
+  std::size_t m_ = 1;
+};
+
+}  // namespace laps

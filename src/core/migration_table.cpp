@@ -1,0 +1,65 @@
+#include "core/migration_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace laps {
+
+MigrationTable::MigrationTable(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("MigrationTable: capacity 0");
+  map_.reserve(capacity * 2);
+  order_.reserve(capacity);
+}
+
+std::optional<CoreId> MigrationTable::lookup(std::uint64_t flow_key) const {
+  const auto it = map_.find(flow_key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MigrationTable::add(std::uint64_t flow_key, CoreId core) {
+  const auto it = map_.find(flow_key);
+  if (it != map_.end()) {
+    it->second = core;
+    // Refresh position: treat re-pin as newest.
+    order_.erase(std::find(order_.begin(), order_.end(), flow_key));
+    order_.push_back(flow_key);
+    return;
+  }
+  if (map_.size() == capacity_) {
+    map_.erase(order_.front());
+    order_.erase(order_.begin());
+  }
+  map_.emplace(flow_key, core);
+  order_.push_back(flow_key);
+}
+
+bool MigrationTable::erase(std::uint64_t flow_key) {
+  const auto it = map_.find(flow_key);
+  if (it == map_.end()) return false;
+  map_.erase(it);
+  order_.erase(std::find(order_.begin(), order_.end(), flow_key));
+  return true;
+}
+
+std::size_t MigrationTable::remove_core_entries(CoreId core) {
+  std::size_t removed = 0;
+  for (auto it = order_.begin(); it != order_.end();) {
+    const auto map_it = map_.find(*it);
+    if (map_it != map_.end() && map_it->second == core) {
+      map_.erase(map_it);
+      it = order_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void MigrationTable::clear() {
+  map_.clear();
+  order_.clear();
+}
+
+}  // namespace laps

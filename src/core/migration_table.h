@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace laps {
+
+/// The migration table of paper Fig. 3: flow-id -> core overrides that take
+/// priority over the hash path ("the scheduler gives priority to the output
+/// of migration table over the default hash table").
+///
+/// Fixed capacity like the hardware CAM it models; when full, the oldest
+/// pin is evicted and that flow falls back to its hash bucket (a single
+/// extra migration — harmless, and it bounds state). Lookups are O(1);
+/// insert/erase maintain insertion order for FIFO eviction.
+class MigrationTable {
+ public:
+  explicit MigrationTable(std::size_t capacity);
+
+  /// Pinned core for a flow, if any.
+  std::optional<CoreId> lookup(std::uint64_t flow_key) const;
+
+  /// Pins `flow_key` to `core` (moves it to newest position if already
+  /// pinned). Evicts the oldest pin when full.
+  void add(std::uint64_t flow_key, CoreId core);
+
+  /// Unpins a flow; returns true if it was pinned.
+  bool erase(std::uint64_t flow_key);
+
+  /// Drops every pin that targets `core` — used when a core is reassigned
+  /// to another service. Returns the number removed.
+  std::size_t remove_core_entries(CoreId core);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+  /// Pinned flows in eviction order (oldest first); for tests.
+  std::vector<std::uint64_t> keys_in_order() const { return order_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, CoreId> map_;
+  std::vector<std::uint64_t> order_;  // insertion order, oldest first
+};
+
+}  // namespace laps

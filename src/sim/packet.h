@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "traffic/workload.h"
+#include "util/flow.h"
+#include "util/time.h"
+
+namespace laps {
+
+/// A packet descriptor inside the simulated network processor — the unit the
+/// Frame Manager enqueues to a core (paper Sec. II). Carries exactly what
+/// the scheduler hardware can see (header 5-tuple, size, service
+/// classification) plus simulation bookkeeping (ids, timestamps).
+struct SimPacket {
+  TimeNs arrival = 0;           ///< ingress time at the scheduler
+  FiveTuple tuple;              ///< header the scheduler hashes
+  std::uint32_t gflow = 0;      ///< dense global flow index
+  std::uint32_t seq = 0;        ///< per-flow ingress sequence number
+  std::uint16_t size_bytes = 64;
+  ServicePath service = ServicePath::kIpForward;
+
+  /// The flow key software structures (migration tables, statistics) use.
+  std::uint64_t flow_key() const { return tuple.key64(); }
+};
+
+}  // namespace laps

@@ -1,0 +1,72 @@
+#include "sim/reorder_buffer.h"
+
+namespace laps {
+
+void ReorderBuffer::ensure_flow(std::uint32_t gflow) {
+  if (gflow >= expected_.size()) {
+    expected_.resize(static_cast<std::size_t>(gflow) + 1, 0);
+  }
+}
+
+void ReorderBuffer::drain(std::uint32_t gflow, TimeNs now,
+                          std::vector<Released>& out) {
+  const auto it = disorder_.find(gflow);
+  if (it == disorder_.end()) return;
+  Disorder& d = it->second;
+  std::uint32_t& expected = expected_[gflow];
+  while (true) {
+    const auto pending_it = d.pending.find(expected);
+    if (pending_it != d.pending.end()) {
+      const TimeNs held = now - pending_it->second;
+      out.push_back(Released{gflow, expected, held});
+      total_held_ += held;
+      ++released_total_;
+      d.pending.erase(pending_it);
+      --occupancy_;
+      ++expected;
+      continue;
+    }
+    if (d.dropped_ahead.erase(expected) > 0) {
+      ++expected;
+      continue;
+    }
+    break;
+  }
+  if (d.empty()) disorder_.erase(it);
+}
+
+std::vector<ReorderBuffer::Released> ReorderBuffer::on_complete(
+    std::uint32_t gflow, std::uint32_t seq, TimeNs now) {
+  ensure_flow(gflow);
+  std::vector<Released> out;
+  if (seq == expected_[gflow]) {
+    out.push_back(Released{gflow, seq, 0});
+    ++released_total_;
+    ++expected_[gflow];
+    drain(gflow, now, out);
+  } else {
+    // seq > expected: a predecessor is still in flight (or its drop has
+    // not been reported yet) — hold this packet.
+    Disorder& d = disorder_[gflow];
+    d.pending.emplace(seq, now);
+    ++occupancy_;
+    ++buffered_total_;
+    if (occupancy_ > max_occupancy_) max_occupancy_ = occupancy_;
+  }
+  return out;
+}
+
+std::vector<ReorderBuffer::Released> ReorderBuffer::on_drop(
+    std::uint32_t gflow, std::uint32_t seq, TimeNs now) {
+  ensure_flow(gflow);
+  std::vector<Released> out;
+  if (seq == expected_[gflow]) {
+    ++expected_[gflow];
+    drain(gflow, now, out);
+  } else {
+    disorder_[gflow].dropped_ahead.insert(seq);
+  }
+  return out;
+}
+
+}  // namespace laps

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace laps {
+
+/// Egress reorder buffer — the *order restoration* alternative the paper
+/// contrasts with its order-preserving design (Sec. VI, Shi et al. [35]):
+/// packets may be processed on any core in any order, but are held at the
+/// output until every earlier packet of their flow has departed (or is
+/// known dropped). Restores perfect per-flow order at the cost of output
+/// buffering and added latency — the overheads the paper argues against;
+/// this class measures them.
+///
+/// Sequence numbers are per-flow, dense from 0 (the simulator's ingress
+/// numbering). Every seq is eventually reported exactly once, either to
+/// on_complete or to on_drop.
+class ReorderBuffer {
+ public:
+  /// One packet released to the wire in restored order.
+  struct Released {
+    std::uint32_t gflow = 0;
+    std::uint32_t seq = 0;
+    TimeNs held_ns = 0;  ///< time spent waiting in the buffer
+  };
+
+  /// A packet of `gflow` with ingress sequence `seq` finished processing at
+  /// `now`. Returns every packet this completion releases, in flow order
+  /// (possibly none: the completed packet itself may be held).
+  std::vector<Released> on_complete(std::uint32_t gflow, std::uint32_t seq,
+                                    TimeNs now);
+
+  /// `seq` of `gflow` was dropped at ingress and will never complete; the
+  /// buffer must not wait for it. May release held packets behind the gap.
+  std::vector<Released> on_drop(std::uint32_t gflow, std::uint32_t seq,
+                                TimeNs now);
+
+  /// Packets currently held.
+  std::size_t occupancy() const { return occupancy_; }
+  /// High-water mark of held packets — the paper's "considerable storage
+  /// overheads".
+  std::size_t max_occupancy() const { return max_occupancy_; }
+  /// Total packets that had to be buffered (completed out of order).
+  std::uint64_t buffered_total() const { return buffered_total_; }
+  /// Sum of hold times across released packets.
+  TimeNs total_held_ns() const { return total_held_; }
+  /// Packets released so far.
+  std::uint64_t released_total() const { return released_total_; }
+  /// Flows currently holding disorder state (memory proxy).
+  std::size_t disordered_flows() const { return disorder_.size(); }
+
+ private:
+  /// Out-of-order state for one flow; exists only while disorder does.
+  struct Disorder {
+    std::map<std::uint32_t, TimeNs> pending;          // completed early
+    std::unordered_set<std::uint32_t> dropped_ahead;  // known-lost seqs
+
+    bool empty() const { return pending.empty() && dropped_ahead.empty(); }
+  };
+
+  void ensure_flow(std::uint32_t gflow);
+  void drain(std::uint32_t gflow, TimeNs now, std::vector<Released>& out);
+
+  std::vector<std::uint32_t> expected_;  // next seq to release, per flow
+  std::unordered_map<std::uint32_t, Disorder> disorder_;
+  std::size_t occupancy_ = 0;
+  std::size_t max_occupancy_ = 0;
+  std::uint64_t buffered_total_ = 0;
+  std::uint64_t released_total_ = 0;
+  TimeNs total_held_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,35 @@
+#include "sim/report.h"
+
+#include <cstdio>
+
+namespace laps {
+
+std::string SimReport::summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "[%s | %s] offered=%llu delivered=%llu dropped=%llu (%.3f%%) "
+      "ooo=%llu (%.3f%%) migrations=%llu cold=%llu (%.1f%%) "
+      "thru=%.3f Mpps util=%.1f%%",
+      scenario.c_str(), scheduler.c_str(),
+      static_cast<unsigned long long>(offered),
+      static_cast<unsigned long long>(delivered),
+      static_cast<unsigned long long>(dropped), drop_ratio() * 100.0,
+      static_cast<unsigned long long>(out_of_order), ooo_ratio() * 100.0,
+      static_cast<unsigned long long>(flow_migrations),
+      static_cast<unsigned long long>(cold_cache_events),
+      cold_cache_ratio() * 100.0, throughput_mpps(),
+      mean_core_utilization * 100.0);
+  std::string out = buf;
+  out += "\n  latency(ns): " + latency_ns.summary();
+  if (!extra.empty()) {
+    out += "\n  extra:";
+    for (const auto& [key, value] : extra) {
+      std::snprintf(buf, sizeof buf, " %s=%.0f", key.c_str(), value);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace laps

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "traffic/workload.h"
+#include "util/histogram.h"
+#include "util/time.h"
+
+namespace laps {
+
+/// Aggregate results of one simulation run — everything the paper's
+/// evaluation section reports, per scheduler and scenario.
+struct SimReport {
+  std::string scheduler;
+  std::string scenario;
+  TimeNs sim_time = 0;
+
+  // --- Offered traffic -----------------------------------------------------
+  std::uint64_t offered = 0;   ///< packets presented to the scheduler
+  std::array<std::uint64_t, kNumServices> offered_by_service{};
+
+  // --- Losses (Fig. 7a / 9a) ----------------------------------------------
+  std::uint64_t dropped = 0;   ///< packets lost to full input queues
+  std::array<std::uint64_t, kNumServices> dropped_by_service{};
+
+  // --- Deliveries ----------------------------------------------------------
+  std::uint64_t delivered = 0;       ///< packets that completed processing
+  std::uint64_t in_flight_at_end = 0;///< still queued/in service at horizon
+
+  // --- Packet order (Fig. 7c / 9b) ------------------------------------
+  /// Departures whose per-flow ingress sequence number is lower than one
+  /// that already departed — the paper's out-of-order metric.
+  std::uint64_t out_of_order = 0;
+
+  // --- Locality (Fig. 7b, 9c) ----------------------------------------------
+  /// Dispatches that sent a flow to a different core than its previous
+  /// packet (the flow-migration count of Fig. 9c; first packet of a flow
+  /// does not count).
+  std::uint64_t flow_migrations = 0;
+  /// Packets that paid the FM_penalty (processed on a core that did not
+  /// process the flow's previous packet).
+  std::uint64_t fm_penalties = 0;
+  /// Packets that paid the cold-I-cache penalty (previous packet on the
+  /// core belonged to a different service) — Fig. 7b.
+  std::uint64_t cold_cache_events = 0;
+
+  // --- Latency -------------------------------------------------------------
+  Histogram latency_ns;  ///< ingress -> departure per delivered packet
+
+  // --- Utilization ---------------------------------------------------------
+  double mean_core_utilization = 0.0;  ///< busy time / (cores * sim time)
+
+  /// Scheduler-specific counters (from Scheduler::extra_stats).
+  std::map<std::string, double> extra;
+
+  // Derived ratios used across the figures. All guard against division by
+  // zero so empty runs print cleanly.
+  double drop_ratio() const {
+    return offered ? static_cast<double>(dropped) / static_cast<double>(offered) : 0.0;
+  }
+  double ooo_ratio() const {
+    return delivered ? static_cast<double>(out_of_order) /
+                           static_cast<double>(delivered)
+                     : 0.0;
+  }
+  double cold_cache_ratio() const {
+    return delivered ? static_cast<double>(cold_cache_events) /
+                           static_cast<double>(delivered)
+                     : 0.0;
+  }
+  double throughput_mpps() const {
+    const double secs = to_seconds(sim_time);
+    return secs > 0 ? static_cast<double>(delivered) / secs / 1e6 : 0.0;
+  }
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+};
+
+}  // namespace laps

@@ -1,0 +1,25 @@
+#include "sim/runner.h"
+
+#include <stdexcept>
+
+namespace laps {
+
+SimReport run_scenario(const ScenarioConfig& config, Scheduler& scheduler) {
+  if (config.services.empty()) {
+    throw std::invalid_argument("run_scenario: no services");
+  }
+  for (const ServiceTraffic& s : config.services) {
+    if (!s.trace) throw std::invalid_argument("run_scenario: null trace");
+    s.trace->reset();
+  }
+  PacketGenerator generator(config.services, config.seed, config.seconds);
+  NpuConfig npu_config;
+  npu_config.num_cores = config.num_cores;
+  npu_config.queue_capacity = config.queue_capacity;
+  npu_config.delay = config.delay;
+  npu_config.restore_order = config.restore_order;
+  Npu npu(npu_config, scheduler);
+  return npu.run(generator, config.name);
+}
+
+}  // namespace laps

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/npu.h"
+#include "sim/report.h"
+#include "sim/scheduler.h"
+#include "traffic/generator.h"
+
+namespace laps {
+
+/// Everything needed to reproduce one simulation run: NPU shape, horizon,
+/// seed, and per-service traffic. The bench binaries build these from the
+/// paper's Tables IV-VI.
+struct ScenarioConfig {
+  std::string name = "scenario";
+  std::size_t num_cores = 16;
+  std::uint32_t queue_capacity = 32;
+  double seconds = 1.0;
+  std::uint64_t seed = 42;
+  DelayModel delay;
+  /// Route completions through an egress ReorderBuffer (order restoration
+  /// instead of order preservation; see NpuConfig::restore_order).
+  bool restore_order = false;
+  std::vector<ServiceTraffic> services;
+};
+
+/// Builds the generator and NPU for `config`, runs `scheduler` through it,
+/// and returns the report. Traces inside `config.services` are reset first
+/// so the same ScenarioConfig can be reused across schedulers (the paper
+/// compares FCFS/AFS/LAPS on identical traffic).
+SimReport run_scenario(const ScenarioConfig& config, Scheduler& scheduler);
+
+}  // namespace laps

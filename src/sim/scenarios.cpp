@@ -1,0 +1,79 @@
+#include "sim/scenarios.h"
+
+#include <stdexcept>
+
+#include "trace/synthetic.h"
+#include "traffic/holt_winters.h"
+
+namespace laps {
+
+std::vector<std::string> table5_group(int group) {
+  switch (group) {
+    case 1: return {"caida1", "caida2", "caida3", "caida4"};
+    case 2: return {"caida5", "caida6", "caida2", "caida3"};
+    case 3: return {"auck1", "auck2", "auck3", "auck4"};
+    case 4: return {"auck5", "auck6", "auck7", "auck8"};
+    default: throw std::invalid_argument("table5_group: group must be 1..4");
+  }
+}
+
+std::vector<std::string> paper_scenario_ids() {
+  return {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"};
+}
+
+ScenarioConfig make_paper_scenario(const std::string& id,
+                                   const ScenarioOptions& options) {
+  int index = 0;
+  if (id.size() == 2 && id[0] == 'T' && id[1] >= '1' && id[1] <= '8') {
+    index = id[1] - '0';
+  } else {
+    throw std::invalid_argument("make_paper_scenario: unknown id " + id);
+  }
+  // Table VI: T1-T4 = Set 1 x G1..G4; T5-T8 = Set 2 x G1..G4 (T8's G3 in
+  // the paper is read as the obvious G4 typo; see header).
+  const int set = index <= 4 ? 1 : 2;
+  const int group = index <= 4 ? index : index - 4;
+
+  ScenarioConfig cfg;
+  cfg.name = id;
+  cfg.num_cores = options.num_cores;
+  cfg.seconds = options.seconds;
+  cfg.seed = options.seed;
+
+  const auto params = table4_params(set);
+  const auto traces = table5_group(group);
+  for (std::size_t s = 0; s < kNumServices; ++s) {
+    ServiceTraffic traffic;
+    traffic.path = static_cast<ServicePath>(s);
+    traffic.rate = params[s];
+    traffic.trace = make_trace(traces[s]);
+    cfg.services.push_back(std::move(traffic));
+  }
+  const double target = set == 1 ? options.load_set1 : options.load_set2;
+  cfg.services = scale_to_load(cfg.services, cfg.delay, cfg.num_cores,
+                               cfg.seconds, target);
+  return cfg;
+}
+
+ScenarioConfig make_single_service_scenario(const std::string& trace,
+                                            const ScenarioOptions& options,
+                                            double load) {
+  ScenarioConfig cfg;
+  cfg.name = trace;
+  cfg.num_cores = options.num_cores;
+  cfg.seconds = options.seconds;
+  cfg.seed = options.seed;
+
+  ServiceTraffic traffic;
+  traffic.path = ServicePath::kIpForward;
+  // Flat rate: Fig. 9 pins the input "slightly more than 100% of what this
+  // configuration can achieve under ideal conditions".
+  traffic.rate = HoltWintersParams{1.0, 0.0, 0.0, 60.0, 0.0};
+  traffic.trace = make_trace(trace);
+  cfg.services = {std::move(traffic)};
+  cfg.services = scale_to_load(cfg.services, cfg.delay, cfg.num_cores,
+                               cfg.seconds, load);
+  return cfg;
+}
+
+}  // namespace laps

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "sim/packet.h"
+#include "util/time.h"
+
+namespace laps {
+
+/// A core id within the simulated NPU. Cores are numbered 0..n-1.
+using CoreId = std::uint32_t;
+
+/// Per-core state a hardware scheduler can observe: the input-queue
+/// occupancy counters and idle timers the Frame Manager maintains.
+struct CoreView {
+  /// Packets waiting in the input queue (excluding the one in service).
+  std::uint32_t queue_len = 0;
+  /// True while the core is processing a packet.
+  bool busy = false;
+  /// Time the core became completely idle (empty queue, nothing in
+  /// service); -1 while the core has work. Drives the paper's idle_th
+  /// surplus-marking timer (Sec. III-D).
+  TimeNs idle_since = -1;
+  /// Service of the most recently started packet on this core, or -1 if
+  /// none yet. The simulator uses it to charge CC_penalty; schedulers must
+  /// NOT read it (a real FM does not know core I-cache contents) — it is
+  /// here because CoreView doubles as the simulator's per-core record.
+  int last_service = -1;
+};
+
+/// Read-only view of the NPU the scheduler consults per packet.
+class NpuView {
+ public:
+  virtual ~NpuView() = default;
+
+  /// Current simulation time.
+  virtual TimeNs now() const = 0;
+
+  /// Per-core observable state; size = core count.
+  virtual std::span<const CoreView> cores() const = 0;
+
+  /// Input-queue capacity (paper: 32 descriptors).
+  virtual std::uint32_t queue_capacity() const = 0;
+
+  /// Total load proxy for a core: queued packets plus the one in service.
+  std::uint32_t load(CoreId core) const {
+    const CoreView& v = cores()[core];
+    return v.queue_len + (v.busy ? 1u : 0u);
+  }
+};
+
+/// Packet scheduler interface — the decision logic in the Frame Manager
+/// (paper Fig. 1/3). One call per arriving packet; the returned core's input
+/// queue receives the descriptor (the simulator drops the packet if that
+/// queue is full, per Sec. IV-C2).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once before simulation with the core count.
+  virtual void attach(std::size_t num_cores) = 0;
+
+  /// Picks the target core for `pkt`. Must return a valid core id.
+  virtual CoreId schedule(const SimPacket& pkt, const NpuView& view) = 0;
+
+  /// Display name ("FCFS", "AFS", "LAPS", ...).
+  virtual std::string name() const = 0;
+
+  /// Scheduler-internal counters for reports (e.g. LAPS core
+  /// reallocations, AFD promotions). Keys become report columns.
+  virtual std::map<std::string, double> extra_stats() const { return {}; }
+};
+
+}  // namespace laps

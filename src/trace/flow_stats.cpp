@@ -1,0 +1,64 @@
+#include "trace/flow_stats.h"
+
+#include <algorithm>
+
+namespace laps {
+
+void FlowStatsAnalyzer::record(const PacketRecord& rec) {
+  if (rec.flow_id >= stats_.size()) {
+    stats_.resize(rec.flow_id + 1);
+  }
+  FlowStat& s = stats_[rec.flow_id];
+  s.flow_id = rec.flow_id;
+  s.packets += 1;
+  s.bytes += rec.size_bytes;
+  total_packets_ += 1;
+  total_bytes_ += rec.size_bytes;
+}
+
+void FlowStatsAnalyzer::consume(TraceSource& src, std::uint64_t max_packets) {
+  for (std::uint64_t i = 0; i < max_packets; ++i) {
+    const auto rec = src.next();
+    if (!rec) break;
+    record(*rec);
+  }
+}
+
+std::vector<FlowStatsAnalyzer::FlowStat> FlowStatsAnalyzer::by_rank() const {
+  std::vector<FlowStat> out;
+  out.reserve(stats_.size());
+  for (const FlowStat& s : stats_) {
+    if (s.packets > 0) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const FlowStat& a, const FlowStat& b) {
+    if (a.packets != b.packets) return a.packets > b.packets;
+    return a.flow_id < b.flow_id;
+  });
+  return out;
+}
+
+double FlowStatsAnalyzer::top_share(std::size_t k) const {
+  if (total_packets_ == 0) return 0.0;
+  const auto ranked = by_rank();
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    top += ranked[i].packets;
+  }
+  return static_cast<double>(top) / static_cast<double>(total_packets_);
+}
+
+std::size_t FlowStatsAnalyzer::distinct_flows() const {
+  std::size_t n = 0;
+  for (const FlowStat& s : stats_) {
+    if (s.packets > 0) ++n;
+  }
+  return n;
+}
+
+void FlowStatsAnalyzer::reset() {
+  stats_.clear();
+  total_packets_ = 0;
+  total_bytes_ = 0;
+}
+
+}  // namespace laps

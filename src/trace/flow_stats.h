@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/packet_record.h"
+
+namespace laps {
+
+/// Off-line per-flow statistics over a trace prefix — the analysis behind
+/// paper Fig. 2 (flow-size rank distribution) and the ground truth for the
+/// AFD accuracy experiments (Fig. 8).
+class FlowStatsAnalyzer {
+ public:
+  /// One analyzed flow.
+  struct FlowStat {
+    std::uint32_t flow_id = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Accumulates one header.
+  void record(const PacketRecord& rec);
+
+  /// Consumes up to `max_packets` headers from `src`.
+  void consume(TraceSource& src, std::uint64_t max_packets);
+
+  /// Flows sorted by descending packet count (rank 1 first, as in Fig. 2).
+  std::vector<FlowStat> by_rank() const;
+
+  /// Fraction of all packets carried by the top `k` flows — the
+  /// "few aggressive flows cause the imbalance" premise of Sec. III-A.
+  double top_share(std::size_t k) const;
+
+  std::uint64_t total_packets() const { return total_packets_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::size_t distinct_flows() const;
+
+  void reset();
+
+ private:
+  std::vector<FlowStat> stats_;  // indexed by flow_id, grown on demand
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/packet_record.h"
+#include "traffic/holt_winters.h"
+#include "traffic/workload.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace laps {
+
+/// One packet emitted by the generator: arrival time, owning service, the
+/// trace header, and a *global* dense flow id (unique across services) the
+/// simulator uses to index per-flow state.
+struct GeneratedPacket {
+  TimeNs time = 0;
+  ServicePath service = ServicePath::kIpForward;
+  PacketRecord record;
+  std::uint32_t gflow = 0;
+};
+
+/// Traffic description for one service: its rate curve and header trace.
+struct ServiceTraffic {
+  ServicePath path = ServicePath::kIpForward;
+  HoltWintersParams rate;
+  std::shared_ptr<TraceSource> trace;
+};
+
+/// Multi-service packet generator, paper Fig. 6 "Packet Generator":
+/// per-service arrival times follow a non-homogeneous Poisson process whose
+/// intensity is the Holt-Winters curve of Eq. 1 (sampled by thinning), and
+/// each arrival's header is the next record of that service's trace —
+/// "the use of real network traces ensures that realistic flow scenarios
+/// are created" (Sec. IV-C1). Finite traces wrap around.
+///
+/// Packets are emitted in nondecreasing global time order. Deterministic
+/// for a fixed (services, seed) pair.
+class PacketGenerator {
+ public:
+  /// `horizon_seconds` bounds generation (packets after the horizon are not
+  /// produced) and is also used to bound the thinning envelope.
+  PacketGenerator(std::vector<ServiceTraffic> services, std::uint64_t seed,
+                  double horizon_seconds);
+
+  /// Next packet across all services, or nullopt once every service has
+  /// passed the horizon.
+  std::optional<GeneratedPacket> next();
+
+  /// Total distinct global flow ids this generator can emit (for sizing
+  /// per-flow arrays). Exact when every trace reports a hint.
+  std::size_t total_flows() const { return total_flows_; }
+
+  /// Number of services.
+  std::size_t num_services() const { return services_.size(); }
+
+ private:
+  struct PerService {
+    ServiceTraffic traffic;
+    HoltWintersRate curve;
+    Rng rng;
+    double next_time_s = 0.0;   // tentative next arrival (seconds)
+    double bound_mpps = 0.0;    // thinning envelope
+    std::uint32_t gflow_offset = 0;
+    bool exhausted = false;
+    // Fallback mapping for traces without a flow-count hint.
+    std::unordered_map<std::uint32_t, std::uint32_t> dynamic_ids;
+  };
+
+  void advance(PerService& s);
+  std::uint32_t global_flow(PerService& s, std::uint32_t local_id);
+
+  std::vector<PerService> services_;
+  double horizon_s_;
+  std::size_t total_flows_ = 0;
+  std::uint32_t dynamic_next_ = 0;  // shared id pool for hint-less traces
+};
+
+/// Computes the mean offered load of `services` relative to the ideal
+/// capacity of `num_cores` cores over [0, horizon]:
+///
+///   load = (1/horizon) * Integral sum_i x_i(t) * E[T_proc,i] dt / cores
+///
+/// using each trace's packet-size mix for E[T_proc,i] (`fallback mix` for
+/// traces that do not expose one). A value of 1.0 means the system is
+/// exactly at its ideal capacity — the boundary between the paper's
+/// "under-load" (Set 1) and "overload" (Set 2) regimes.
+double mean_offered_load(const std::vector<ServiceTraffic>& services,
+                         const DelayModel& delay, std::size_t num_cores,
+                         double horizon_seconds);
+
+/// Returns a copy of `services` with every rate curve scaled by a constant
+/// factor so that mean_offered_load(...) == target_load. Used by the
+/// Fig. 7 harness to pin Set 1 / Set 2 at calibrated under/over-load points
+/// regardless of trace packet-size mixes (see DESIGN.md substitutions).
+std::vector<ServiceTraffic> scale_to_load(std::vector<ServiceTraffic> services,
+                                          const DelayModel& delay,
+                                          std::size_t num_cores,
+                                          double horizon_seconds,
+                                          double target_load);
+
+}  // namespace laps

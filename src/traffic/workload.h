@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace laps {
+
+/// The four services of the paper's multi-service edge-router workload
+/// (Fig. 5): each *path* through the task graph is one service, and a packet
+/// is tied to a single core for its whole processing.
+enum class ServicePath : std::uint8_t {
+  kVpnOut = 0,     ///< Path 1: outgoing packets tunneled via VPN (IPsec enc)
+  kIpForward = 1,  ///< Path 2: default IP forwarding
+  kMalwareScan = 2,///< Path 3: incoming packets scanned for malware
+  kVpnInScan = 3,  ///< Path 4: incoming VPN packets (decrypt + scan)
+};
+
+inline constexpr std::size_t kNumServices = 4;
+
+/// Short display name ("path1".."path4" with a hint).
+std::string service_name(ServicePath path);
+
+/// Per-packet processing-time model of paper Sec. IV-C3 (Eqs. 3-5),
+/// measured on the GEMS-simulated in-order core of Table III:
+///
+///   PD_i = T_proc,i + FM_penalty + CC_penalty
+///
+///   T_proc,path2 = 0.5 us                      (IP forwarding)
+///   T_proc,path3 = 3.53 us                     (malware scan)
+///   T_proc,path1 = 3.7 us + (size/64B)*0.23 us (VPN encrypt, Eq. 4)
+///   T_proc,path4 = 5.8 us + (size/64B)*0.21 us (VPN decrypt+scan, Eq. 5)
+///
+/// FM_penalty (0.8 us = four cache misses) is charged when a packet's flow
+/// was last processed on a *different* core; CC_penalty (10 us, the cold
+/// I-cache refill of the smallest service) when the previous packet on this
+/// core belonged to a different service.
+struct DelayModel {
+  TimeNs fm_penalty = from_us(0.8);
+  TimeNs cc_penalty = from_us(10.0);
+
+  /// T_proc for one packet of `path` with IP length `size_bytes`.
+  TimeNs proc_time(ServicePath path, std::uint16_t size_bytes) const;
+
+  /// Full per-packet delay including optional penalties.
+  TimeNs packet_delay(ServicePath path, std::uint16_t size_bytes,
+                      bool flow_migrated, bool cold_cache) const {
+    TimeNs d = proc_time(path, size_bytes);
+    if (flow_migrated) d += fm_penalty;
+    if (cold_cache) d += cc_penalty;
+    return d;
+  }
+
+  /// Expected T_proc under a packet-size mix — used to calibrate offered
+  /// load against the ideal capacity of an n-core system.
+  double mean_proc_time_us(ServicePath path,
+                           const std::vector<std::uint16_t>& sizes,
+                           const std::vector<double>& weights) const;
+};
+
+}  // namespace laps

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace laps {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+///
+/// Accepts `--name=value` and boolean `--name`. Unknown
+/// flags are an error (typos in experiment parameters should fail loudly,
+/// not silently run the default). Positional arguments are collected in
+/// order.
+///
+///   Flags flags(argc, argv);
+///   const double secs  = flags.get_double("seconds", 2.0);
+///   const bool   full  = flags.get_bool("full", false);
+///   flags.finish();  // rejects unconsumed (unknown) flags
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// String flag with default.
+  std::string get_string(const std::string& name, const std::string& def);
+  /// Integer flag with default (accepts decimal and 0x hex).
+  std::int64_t get_int(const std::string& name, std::int64_t def);
+  /// Floating-point flag with default.
+  double get_double(const std::string& name, double def);
+  /// Boolean flag: `--name`, `--name=true/false/1/0`. Default `def`.
+  bool get_bool(const std::string& name, bool def);
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True if the flag appeared on the command line.
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Throws std::runtime_error listing any flag that was given but never
+  /// consumed by a get_*() call — i.e., a typo.
+  void finish() const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace laps

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/crc.h"
+
+namespace laps {
+
+/// The 5-tuple flow identifier used throughout the paper: a *flow* is the
+/// set of packets sharing source/destination IPv4 address, source/destination
+/// port, and IP protocol.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  /// Serializes the tuple into the canonical 13-byte wire layout the
+  /// hardware hashes (big-endian fields, the order they appear in the
+  /// IP/TCP headers: src ip, dst ip, src port, dst port, protocol).
+  std::array<std::uint8_t, 13> wire_bytes() const;
+
+  /// CRC16-CCITT of the 13-byte wire layout — the LAPS scheduler hash.
+  std::uint16_t crc16() const;
+
+  /// A 64-bit key for software hash maps (migration tables, statistics).
+  /// Collision-free in practice for simulated flow populations: mixes all
+  /// 104 tuple bits through SplitMix64 in two dependent rounds.
+  std::uint64_t key64() const;
+
+  /// Human-readable "a.b.c.d:p -> a.b.c.d:p/proto" form for logs and
+  /// error messages.
+  std::string to_string() const;
+};
+
+/// Hash functor so FiveTuple can key std::unordered_map directly.
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(t.key64());
+  }
+};
+
+/// Formats an IPv4 address (host byte order) as dotted quad.
+std::string ipv4_to_string(std::uint32_t ip);
+
+}  // namespace laps

@@ -1,0 +1,94 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace laps {
+
+Histogram::Histogram() : buckets_(kOctaves * kSubBuckets, 0) {}
+
+std::size_t Histogram::bucket_index(std::int64_t value) {
+  // Values in [0, kSubBuckets) are exact; every later octave (values with
+  // most-significant bit B >= kSubBucketBits) is split into kSubBuckets
+  // linear sub-buckets of width 2^(B - kSubBucketBits).
+  const std::uint64_t v = value < 0 ? 0 : static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int octave = msb - kSubBucketBits;  // >= 0
+  const std::uint64_t sub = (v >> octave) - kSubBuckets;
+  return kSubBuckets + static_cast<std::size_t>(octave) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::int64_t Histogram::bucket_upper_bound(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<std::int64_t>(index);
+  const std::size_t octave = (index - kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (index - kSubBuckets) % kSubBuckets;
+  const std::uint64_t lower =
+      (static_cast<std::uint64_t>(kSubBuckets) + sub) << octave;
+  const std::uint64_t width = 1ULL << octave;
+  return static_cast<std::int64_t>(lower + width - 1);
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  const std::size_t idx = bucket_index(value);
+  if (idx < buckets_.size()) {
+    ++buckets_[idx];
+  } else {
+    ++buckets_.back();
+  }
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  if (target == 0) target = 1;
+  if (target > count_) target = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "count=%llu mean=%.1f p50=%lld p90=%lld p99=%lld max=%lld",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<long long>(quantile(0.50)),
+                static_cast<long long>(quantile(0.90)),
+                static_cast<long long>(quantile(0.99)),
+                static_cast<long long>(max_));
+  return buf;
+}
+
+}  // namespace laps

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laps {
+
+/// Log-bucketed latency histogram (HdrHistogram-style, base-2 with linear
+/// sub-buckets), fixed memory, O(1) record.
+///
+/// Used for packet latency distributions in the simulator report. Values are
+/// non-negative integers (nanoseconds in practice). Relative bucket error is
+/// bounded by 1/kSubBuckets (= 1/32, ~3%), plenty for reporting percentiles.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample. Negative values are clamped to zero.
+  void record(std::int64_t value);
+
+  /// Number of recorded samples.
+  std::uint64_t count() const { return count_; }
+
+  /// Sum of recorded samples (exact).
+  std::int64_t sum() const { return sum_; }
+
+  /// Arithmetic mean; 0 if empty.
+  double mean() const;
+
+  /// Maximum recorded value (exact); 0 if empty.
+  std::int64_t max() const { return max_; }
+
+  /// Value at quantile q in [0, 1] (bucket upper bound); 0 if empty.
+  std::int64_t quantile(double q) const;
+
+  /// Merges another histogram into this one.
+  void merge(const Histogram& other);
+
+  /// Resets to empty.
+  void clear();
+
+  /// "count=... mean=... p50=... p99=... max=..." summary line.
+  std::string summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets / octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  // Octaves for msb in [kSubBucketBits, 63], plus the exact low range.
+  static constexpr int kOctaves = 64 - kSubBucketBits + 1;
+
+  static std::size_t bucket_index(std::int64_t value);
+  static std::int64_t bucket_upper_bound(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/crc.h"
+
+namespace laps {
+
+/// Deterministic 64-bit RNG (xoshiro256** core seeded via SplitMix64).
+///
+/// Every stochastic component of the simulator draws from an `Rng` owned by
+/// that component, so experiments are exactly reproducible given a seed and
+/// statistically independent across components (seed streams are derived
+/// with `Rng::stream`). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) { reseed(seed); }
+
+  /// Re-initializes state from `seed` (SplitMix64 expansion so that nearby
+  /// seeds yield uncorrelated states).
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x = mix64(x);
+      s = x;
+    }
+    // xoshiro must not start from the all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  /// Derives an independent RNG for a named sub-stream, e.g. one per
+  /// service or per flow generator.
+  Rng stream(std::uint64_t stream_id) const {
+    return Rng(mix64(state_[0] ^ mix64(stream_id + 0x9E37)));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, n). `n` must be nonzero. Uses Lemire's
+  /// multiply-shift rejection to avoid modulo bias.
+  std::uint64_t below(std::uint64_t n) {
+    unsigned __int128 m = static_cast<unsigned __int128>(next()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli draw with success probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace laps

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace laps {
+
+/// Samples ranks 1..n from a Zipf(alpha) distribution:
+/// P(rank = k) proportional to 1 / k^alpha.
+///
+/// Internet flow-size distributions are well modeled as Zipfian ("the war
+/// between mice and elephants", Guo & Matta 2001); the paper's Fig. 2 shows
+/// exactly this rank/size behaviour for the CAIDA and Auckland traces. The
+/// sampler precomputes the inverse CDF once (O(n) memory, O(log n) per draw)
+/// so that draws are cheap during trace generation.
+class ZipfSampler {
+ public:
+  /// `n` ranks, skew `alpha` > 0. Larger alpha = heavier head.
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draws a rank in [0, n). Rank 0 is the most popular item.
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank `k` (0-based).
+  double pmf(std::size_t k) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+  double alpha_;
+};
+
+/// Exponential inter-arrival sampler: mean 1/rate.
+/// Returns +inf-free positive doubles; rate must be > 0.
+double sample_exponential(Rng& rng, double rate);
+
+/// Bounded Pareto sampler over [lo, hi] with tail index `shape`.
+/// Used for flow duration and burst length modeling.
+double sample_bounded_pareto(Rng& rng, double shape, double lo, double hi);
+
+/// Normal(0, sigma) via Box-Muller (single value; simple and allocation
+/// free). Used for the Holt-Winters noise term n(sigma) of paper Eq. 1.
+double sample_gaussian(Rng& rng, double sigma);
+
+/// Weighted discrete sampler over a fixed set of outcomes (alias method,
+/// O(1) per draw). Used for the empirical packet-size mix.
+class DiscreteSampler {
+ public:
+  /// `weights` need not be normalized; must be non-empty, all >= 0, sum > 0.
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, weights.size()).
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;        // alias-method acceptance probability
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace laps

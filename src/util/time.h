@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+namespace laps {
+
+/// Simulation time in integer nanoseconds.
+///
+/// All simulator components exchange time as `TimeNs`. An integer clock keeps
+/// event ordering exact and comparisons total; the paper's delay constants
+/// (0.5 us .. 10 us) are all exact multiples of 1 ns. A signed 64-bit tick
+/// covers ~292 years, far beyond any simulated run.
+using TimeNs = std::int64_t;
+
+/// One microsecond expressed in `TimeNs` ticks.
+inline constexpr TimeNs kMicrosecond = 1'000;
+/// One millisecond expressed in `TimeNs` ticks.
+inline constexpr TimeNs kMillisecond = 1'000'000;
+/// One second expressed in `TimeNs` ticks.
+inline constexpr TimeNs kSecond = 1'000'000'000;
+
+/// Converts fractional microseconds to the integer tick clock (rounds to
+/// nearest tick). Used for the paper's delay constants, e.g. 3.53 us.
+constexpr TimeNs from_us(double us) {
+  return static_cast<TimeNs>(us * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+/// Converts fractional seconds to ticks (rounds to nearest tick).
+constexpr TimeNs from_seconds(double s) {
+  return static_cast<TimeNs>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Converts ticks back to fractional seconds, for reporting only.
+constexpr double to_seconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts ticks back to fractional microseconds, for reporting only.
+constexpr double to_us(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+}  // namespace laps

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/flow.h"
+
+namespace laps {
+
+/// Toeplitz hash over the 5-tuple — the hash used by NIC receive-side
+/// scaling (RSS), provided as an alternative to the paper's CRC16 for the
+/// hash-quality ablation. The bench compares CRC16, Toeplitz, and a naive
+/// modulo fold for bucket uniformity and flow-bundle balance (Cao et al.,
+/// INFOCOM'00, is the paper's reference for why CRC16 is a good choice).
+class ToeplitzHash {
+ public:
+  /// 40-byte RSS key; the default is Microsoft's canonical verification key
+  /// so hash values match published RSS test vectors.
+  explicit ToeplitzHash(
+      const std::array<std::uint8_t, 40>& key = kDefaultKey);
+
+  /// 32-bit Toeplitz hash of the 12-byte src/dst address+port block (the
+  /// standard RSS TCP/IPv4 input; protocol is not part of RSS input).
+  std::uint32_t hash(const FiveTuple& tuple) const;
+
+  /// Toeplitz hash over arbitrary bytes (up to 36 bytes of input).
+  std::uint32_t hash_bytes(const std::uint8_t* data, std::size_t len) const;
+
+  static const std::array<std::uint8_t, 40> kDefaultKey;
+
+ private:
+  std::array<std::uint8_t, 40> key_;
+};
+
+/// Deliberately poor hash for the ablation: folds the tuple with modulo,
+/// which correlates with address assignment patterns exactly the way
+/// real deployments regret.
+std::uint16_t naive_fold_hash(const FiveTuple& tuple);
+
+}  // namespace laps

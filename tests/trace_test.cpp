@@ -1,0 +1,371 @@
+// Tests for src/trace: synthetic traces, the trace registry, the flow-size
+// analyzer (Fig. 2 machinery), and pcap reader/writer round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/flow_stats.h"
+#include "trace/pcap_io.h"
+#include "trace/synthetic.h"
+
+namespace laps {
+namespace {
+
+// ------------------------------------------------------- SyntheticTrace ---
+
+TEST(SyntheticTrace, RejectsBadSpec) {
+  SyntheticTraceSpec spec;
+  spec.size_weights = {1.0};  // mismatched with size_bytes
+  EXPECT_THROW(SyntheticTrace{spec}, std::invalid_argument);
+  SyntheticTraceSpec bursty;
+  bursty.burstiness = 1.0;
+  EXPECT_THROW(SyntheticTrace{bursty}, std::invalid_argument);
+}
+
+TEST(SyntheticTrace, DeterministicReplay) {
+  SyntheticTraceSpec spec;
+  spec.num_flows = 1000;
+  spec.seed = 5;
+  SyntheticTrace a(spec), b(spec);
+  for (int i = 0; i < 1000; ++i) {
+    const auto ra = a.next();
+    const auto rb = b.next();
+    ASSERT_TRUE(ra && rb);
+    ASSERT_EQ(ra->flow_id, rb->flow_id);
+    ASSERT_EQ(ra->tuple, rb->tuple);
+    ASSERT_EQ(ra->size_bytes, rb->size_bytes);
+  }
+}
+
+TEST(SyntheticTrace, ResetReplaysIdentically) {
+  auto trace = make_trace("auck1");
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 500; ++i) first.push_back(trace->next()->flow_id);
+  trace->reset();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(trace->next()->flow_id, first[i]) << "packet " << i;
+  }
+}
+
+TEST(SyntheticTrace, TuplesAreUniquePerFlow) {
+  SyntheticTraceSpec spec;
+  spec.num_flows = 20'000;
+  SyntheticTrace trace(spec);
+  std::set<FiveTuple> tuples;
+  for (std::uint32_t f = 0; f < spec.num_flows; f += 97) {
+    tuples.insert(trace.tuple_of(f));
+  }
+  EXPECT_EQ(tuples.size(), (spec.num_flows + 96) / 97);
+}
+
+TEST(SyntheticTrace, TupleStableAcrossInstances) {
+  const auto spec = trace_spec("caida1");
+  SyntheticTrace a(spec), b(spec);
+  EXPECT_EQ(a.tuple_of(123), b.tuple_of(123));
+}
+
+TEST(SyntheticTrace, RecordsMatchTupleOf) {
+  // Without churn, rank == flow_id, so tuple_of reconstructs every header.
+  SyntheticTraceSpec spec = trace_spec("auck2");
+  spec.churn_per_packet = 0.0;
+  SyntheticTrace trace(spec);
+  for (int i = 0; i < 200; ++i) {
+    const auto rec = trace.next();
+    ASSERT_TRUE(rec);
+    EXPECT_EQ(rec->tuple, trace.tuple_of(rec->flow_id));
+  }
+}
+
+TEST(SyntheticTrace, FlowIdsWithinHintWithoutChurn) {
+  SyntheticTraceSpec spec = trace_spec("auck1");
+  spec.churn_per_packet = 0.0;
+  SyntheticTrace trace(spec);
+  const std::size_t hint = trace.flow_count_hint();
+  EXPECT_GT(hint, 0u);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(trace.next()->flow_id, hint);
+  }
+}
+
+TEST(SyntheticTrace, ChurnRetiresIdentities) {
+  SyntheticTraceSpec spec = trace_spec("caida1");
+  SyntheticTrace trace(spec);
+  // Churny traces report an unknown flow population...
+  EXPECT_EQ(trace.flow_count_hint(), 0u);
+  // ...and eventually emit ids beyond the rank space (retired identities
+  // get fresh dense ids, so downstream per-flow state sees new flows).
+  bool saw_fresh_id = false;
+  for (int i = 0; i < 300'000 && !saw_fresh_id; ++i) {
+    saw_fresh_id = trace.next()->flow_id >= spec.num_flows;
+  }
+  EXPECT_TRUE(saw_fresh_id);
+}
+
+TEST(SyntheticTrace, SizesComeFromConfiguredMix) {
+  SyntheticTraceSpec spec;
+  spec.size_bytes = {100, 200};
+  spec.size_weights = {0.5, 0.5};
+  SyntheticTrace trace(spec);
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = trace.next()->size_bytes;
+    ASSERT_TRUE(s == 100 || s == 200);
+  }
+}
+
+TEST(SyntheticTrace, BurstinessRepeatsFlows) {
+  SyntheticTraceSpec calm;
+  calm.num_flows = 100'000;
+  calm.zipf_alpha = 1.01;
+  calm.burstiness = 0.0;
+  SyntheticTraceSpec bursty = calm;
+  bursty.burstiness = 0.8;
+
+  auto repeats = [](SyntheticTrace& t) {
+    int r = 0;
+    std::uint32_t prev = ~0u;
+    for (int i = 0; i < 20'000; ++i) {
+      const auto rec = t.next();
+      r += rec->flow_id == prev;
+      prev = rec->flow_id;
+    }
+    return r;
+  };
+  SyntheticTrace a(calm), b(bursty);
+  EXPECT_GT(repeats(b), repeats(a) + 5000);
+}
+
+TEST(SyntheticTrace, ZipfSkewConcentratesTraffic) {
+  // The Fig. 2 premise: the head flows carry a disproportionate share.
+  FlowStatsAnalyzer stats;
+  auto trace = make_trace("auck1");
+  stats.consume(*trace, 200'000);
+  EXPECT_GT(stats.top_share(16), 0.15);
+  EXPECT_LT(stats.top_share(16), 0.95);
+}
+
+TEST(SyntheticTrace, CaidaHasMoreActiveFlowsThanAuckland) {
+  // The property that drives Fig. 8a's annex-size requirement.
+  FlowStatsAnalyzer caida, auck;
+  auto ct = make_trace("caida1");
+  auto at = make_trace("auck1");
+  caida.consume(*ct, 200'000);
+  auck.consume(*at, 200'000);
+  EXPECT_GT(caida.distinct_flows(), 2 * auck.distinct_flows());
+}
+
+// --------------------------------------------------------------- Registry ---
+
+TEST(TraceRegistry, AllNamesConstruct) {
+  for (const std::string& name : trace_registry_names()) {
+    auto trace = make_trace(name);
+    EXPECT_EQ(trace->name(), name);
+    EXPECT_TRUE(trace->next().has_value());
+  }
+}
+
+TEST(TraceRegistry, HasPaperTraceCount) {
+  // 6 CAIDA-like (Tables I+V) + 8 Auckland-like (Table II).
+  EXPECT_EQ(trace_registry_names().size(), 14u);
+}
+
+TEST(TraceRegistry, UnknownNameThrows) {
+  EXPECT_THROW(trace_spec("nosuch"), std::out_of_range);
+}
+
+TEST(TraceRegistry, DistinctSeedsProduceDistinctStreams) {
+  auto a = make_trace("caida1");
+  auto b = make_trace("caida2");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a->next()->flow_id == b->next()->flow_id;
+  }
+  EXPECT_LT(same, 50);
+}
+
+// ------------------------------------------------------ FlowStatsAnalyzer ---
+
+TEST(FlowStats, EmptyAnalyzer) {
+  FlowStatsAnalyzer stats;
+  EXPECT_EQ(stats.total_packets(), 0u);
+  EXPECT_EQ(stats.distinct_flows(), 0u);
+  EXPECT_EQ(stats.top_share(16), 0.0);
+  EXPECT_TRUE(stats.by_rank().empty());
+}
+
+TEST(FlowStats, CountsPacketsAndBytes) {
+  FlowStatsAnalyzer stats;
+  PacketRecord rec;
+  rec.flow_id = 3;
+  rec.size_bytes = 100;
+  stats.record(rec);
+  stats.record(rec);
+  rec.flow_id = 1;
+  rec.size_bytes = 50;
+  stats.record(rec);
+  EXPECT_EQ(stats.total_packets(), 3u);
+  EXPECT_EQ(stats.total_bytes(), 250u);
+  EXPECT_EQ(stats.distinct_flows(), 2u);
+  const auto ranked = stats.by_rank();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].flow_id, 3u);
+  EXPECT_EQ(ranked[0].packets, 2u);
+  EXPECT_EQ(ranked[1].flow_id, 1u);
+}
+
+TEST(FlowStats, TopShareOfSingleFlowIsOne) {
+  FlowStatsAnalyzer stats;
+  PacketRecord rec;
+  rec.flow_id = 0;
+  for (int i = 0; i < 10; ++i) stats.record(rec);
+  EXPECT_DOUBLE_EQ(stats.top_share(1), 1.0);
+  EXPECT_DOUBLE_EQ(stats.top_share(100), 1.0);
+}
+
+TEST(FlowStats, ResetClears) {
+  FlowStatsAnalyzer stats;
+  PacketRecord rec;
+  stats.record(rec);
+  stats.reset();
+  EXPECT_EQ(stats.total_packets(), 0u);
+}
+
+// ----------------------------------------------------------------- Pcap ---
+
+std::string temp_pcap_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() / ("laps_test_" + tag + ".pcap"))
+      .string();
+}
+
+TEST(Pcap, WriterReaderRoundTrip) {
+  const std::string path = temp_pcap_path("roundtrip");
+  SyntheticTraceSpec spec;
+  spec.num_flows = 100;
+  spec.seed = 9;
+  SyntheticTrace trace(spec);
+
+  std::vector<PacketRecord> written;
+  {
+    PcapWriter writer(path, /*snaplen=*/128);
+    for (int i = 0; i < 500; ++i) {
+      const auto rec = trace.next();
+      writer.write(static_cast<std::uint64_t>(i) * 1000, *rec);
+      written.push_back(*rec);
+    }
+    EXPECT_EQ(writer.written(), 500u);
+  }
+
+  PcapReader reader(path);
+  for (int i = 0; i < 500; ++i) {
+    const auto pkt = reader.next();
+    ASSERT_TRUE(pkt) << "packet " << i;
+    EXPECT_EQ(pkt->record.tuple, written[i].tuple) << "packet " << i;
+    EXPECT_EQ(pkt->record.size_bytes,
+              std::max<std::uint16_t>(written[i].size_bytes, 28));
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.parsed(), 500u);
+  EXPECT_EQ(reader.skipped(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, TimestampsPreservedAtUsecResolution) {
+  const std::string path = temp_pcap_path("timestamps");
+  {
+    PcapWriter writer(path);
+    PacketRecord rec;
+    rec.tuple = FiveTuple{1, 2, 3, 4, 6};
+    writer.write(1'234'567'890'123ULL, rec);  // sub-usec part is dropped
+  }
+  PcapReader reader(path);
+  const auto pkt = reader.next();
+  ASSERT_TRUE(pkt);
+  EXPECT_EQ(pkt->ts_nanos, 1'234'567'890'000ULL);  // truncated to usec
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, FlowIdsAreDenseFirstAppearance) {
+  const std::string path = temp_pcap_path("flowids");
+  {
+    PcapWriter writer(path);
+    PacketRecord a, b;
+    a.tuple = FiveTuple{1, 2, 3, 4, 6};
+    b.tuple = FiveTuple{5, 6, 7, 8, 17};
+    writer.write(0, a);
+    writer.write(1, b);
+    writer.write(2, a);
+  }
+  PcapReader reader(path);
+  EXPECT_EQ(reader.next()->record.flow_id, 0u);
+  EXPECT_EQ(reader.next()->record.flow_id, 1u);
+  EXPECT_EQ(reader.next()->record.flow_id, 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, RejectsGarbageFile) {
+  const std::string path = temp_pcap_path("garbage");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a pcap file at all, not even close", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(PcapReader reader(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, RejectsMissingFile) {
+  EXPECT_THROW(PcapReader reader("/nonexistent/file.pcap"),
+               std::runtime_error);
+}
+
+TEST(Pcap, SkipsNonIpPackets) {
+  const std::string path = temp_pcap_path("nonip");
+  {
+    // Hand-craft a file: one ARP frame then one UDP frame via the writer's
+    // format. Easiest: write a valid file, then append an ARP record.
+    PcapWriter writer(path);
+    PacketRecord rec;
+    rec.tuple = FiveTuple{1, 2, 3, 4, 17};
+    writer.write(0, rec);
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    // Record header: ts=1, incl=orig=14 (Ethernet only, EtherType ARP).
+    const std::uint32_t hdr[4] = {1, 0, 14, 14};
+    std::fwrite(hdr, 4, 4, f);
+    const std::uint8_t arp[14] = {0, 0, 0, 0, 0, 0, 0,
+                                  0, 0, 0, 0, 0, 0x08, 0x06};
+    std::fwrite(arp, 1, 14, f);
+    std::fclose(f);
+  }
+  PcapReader reader(path);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.skipped(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapTrace, ActsAsTraceSource) {
+  const std::string path = temp_pcap_path("source");
+  SyntheticTraceSpec spec;
+  spec.num_flows = 50;
+  SyntheticTrace synth(spec);
+  {
+    PcapWriter writer(path);
+    for (int i = 0; i < 100; ++i) writer.write(i, *synth.next());
+  }
+  PcapTrace trace(path);
+  int n = 0;
+  while (trace.next()) ++n;
+  EXPECT_EQ(n, 100);
+  // reset() reopens and replays.
+  trace.reset();
+  EXPECT_TRUE(trace.next().has_value());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace laps

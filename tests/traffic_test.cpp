@@ -1,0 +1,305 @@
+// Tests for src/traffic: Holt-Winters rate model (Eq. 1 / Table IV), the
+// processing-delay model (Eqs. 3-5 / Table III), and the multi-service
+// packet generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "trace/synthetic.h"
+#include "traffic/generator.h"
+#include "traffic/holt_winters.h"
+#include "traffic/workload.h"
+
+namespace laps {
+namespace {
+
+// ----------------------------------------------------------- HoltWinters ---
+
+TEST(HoltWinters, Table4HasBothSets) {
+  const auto set1 = table4_params(1);
+  const auto set2 = table4_params(2);
+  ASSERT_EQ(set1.size(), kNumServices);
+  ASSERT_EQ(set2.size(), kNumServices);
+  EXPECT_DOUBLE_EQ(set1[0].a, 1.0);
+  EXPECT_DOUBLE_EQ(set1[1].a, 1.8);
+  EXPECT_DOUBLE_EQ(set2[0].a, 1.5);
+  EXPECT_DOUBLE_EQ(set2[3].m, 200.0);
+  EXPECT_THROW(table4_params(3), std::invalid_argument);
+}
+
+TEST(HoltWinters, MeanRateFollowsComponents) {
+  HoltWintersParams p{2.0, 0.1, 0.0, 10.0, 0.0};
+  HoltWintersRate rate(p, 1);
+  EXPECT_DOUBLE_EQ(rate.mean_rate_mpps(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(rate.mean_rate_mpps(10.0), 3.0);  // +b*t
+}
+
+TEST(HoltWinters, SeasonalComponentIsPeriodic) {
+  HoltWintersParams p{1.0, 0.0, 0.5, 4.0, 0.0};
+  HoltWintersRate rate(p, 1);
+  for (double t : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(rate.mean_rate_mpps(t), rate.mean_rate_mpps(t + 4.0), 1e-9);
+    EXPECT_NEAR(rate.mean_rate_mpps(t), rate.mean_rate_mpps(t + 8.0), 1e-9);
+  }
+  // Peak at quarter period.
+  EXPECT_NEAR(rate.mean_rate_mpps(1.0), 1.5, 1e-9);
+}
+
+TEST(HoltWinters, NoiseIsDeterministicPureFunction) {
+  HoltWintersParams p{1.0, 0.0, 0.0, 10.0, 0.3};
+  HoltWintersRate a(p, 42), b(p, 42);
+  for (double t : {0.0, 0.05, 1.23, 17.7}) {
+    EXPECT_DOUBLE_EQ(a.rate_mpps(t), b.rate_mpps(t));
+  }
+  HoltWintersRate c(p, 43);
+  EXPECT_NE(a.rate_mpps(1.23), c.rate_mpps(1.23));
+}
+
+TEST(HoltWinters, NoisePiecewiseConstantWithinInterval) {
+  HoltWintersParams p{1.0, 0.0, 0.0, 10.0, 0.5};
+  HoltWintersRate rate(p, 7, /*noise_interval=*/0.1);
+  EXPECT_DOUBLE_EQ(rate.rate_mpps(0.51), rate.rate_mpps(0.59));
+  // Across interval boundaries the noise redraws (almost surely different).
+  EXPECT_NE(rate.rate_mpps(0.59), rate.rate_mpps(0.61));
+}
+
+TEST(HoltWinters, RateNeverBelowFloor) {
+  HoltWintersParams p{0.0, -1.0, 0.0, 10.0, 0.0};  // strongly negative trend
+  HoltWintersRate rate(p, 1);
+  EXPECT_GE(rate.rate_mpps(100.0), HoltWintersRate::floor_mpps);
+}
+
+TEST(HoltWinters, BoundDominatesRate) {
+  for (int set : {1, 2}) {
+    for (const auto& p : table4_params(set)) {
+      HoltWintersRate rate(p, 3);
+      const double bound = rate.rate_bound_mpps(60.0);
+      for (double t = 0; t < 60.0; t += 0.37) {
+        ASSERT_LE(rate.rate_mpps(t), bound) << "set " << set << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(HoltWinters, RejectsBadConstruction) {
+  HoltWintersParams p;
+  EXPECT_THROW(HoltWintersRate(p, 1, 0.0), std::invalid_argument);
+  p.m = 0.0;
+  EXPECT_THROW(HoltWintersRate(p, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ DelayModel ---
+
+TEST(DelayModel, PaperConstants) {
+  DelayModel d;
+  // Path 2 (IP forwarding): 0.5 us flat.
+  EXPECT_EQ(d.proc_time(ServicePath::kIpForward, 64), from_us(0.5));
+  EXPECT_EQ(d.proc_time(ServicePath::kIpForward, 1500), from_us(0.5));
+  // Path 3 (scan): 3.53 us flat.
+  EXPECT_EQ(d.proc_time(ServicePath::kMalwareScan, 64), from_us(3.53));
+  // Path 1 (Eq. 4): 3.7 + (size/64)*0.23 us.
+  EXPECT_EQ(d.proc_time(ServicePath::kVpnOut, 64), from_us(3.7 + 0.23));
+  EXPECT_EQ(d.proc_time(ServicePath::kVpnOut, 640), from_us(3.7 + 2.3));
+  // Path 4 (Eq. 5): 5.8 + (size/64)*0.21 us.
+  EXPECT_EQ(d.proc_time(ServicePath::kVpnInScan, 128), from_us(5.8 + 0.42));
+}
+
+TEST(DelayModel, PenaltiesAreAdditive) {
+  DelayModel d;
+  const TimeNs base = d.proc_time(ServicePath::kIpForward, 64);
+  EXPECT_EQ(d.packet_delay(ServicePath::kIpForward, 64, false, false), base);
+  EXPECT_EQ(d.packet_delay(ServicePath::kIpForward, 64, true, false),
+            base + from_us(0.8));
+  EXPECT_EQ(d.packet_delay(ServicePath::kIpForward, 64, false, true),
+            base + from_us(10.0));
+  EXPECT_EQ(d.packet_delay(ServicePath::kIpForward, 64, true, true),
+            base + from_us(10.8));
+}
+
+TEST(DelayModel, MeanProcTimeWeightsSizes) {
+  DelayModel d;
+  const double mean =
+      d.mean_proc_time_us(ServicePath::kVpnOut, {64, 128}, {0.5, 0.5});
+  EXPECT_NEAR(mean, 0.5 * (3.7 + 0.23) + 0.5 * (3.7 + 0.46), 1e-6);
+  EXPECT_THROW(d.mean_proc_time_us(ServicePath::kVpnOut, {64}, {0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(ServiceName, AllPathsNamed) {
+  std::set<std::string> names;
+  for (std::size_t s = 0; s < kNumServices; ++s) {
+    names.insert(service_name(static_cast<ServicePath>(s)));
+  }
+  EXPECT_EQ(names.size(), kNumServices);
+}
+
+// -------------------------------------------------------- PacketGenerator ---
+
+std::vector<ServiceTraffic> one_service(double mpps, double seconds_unused = 0) {
+  static_cast<void>(seconds_unused);
+  ServiceTraffic s;
+  s.path = ServicePath::kIpForward;
+  s.rate = HoltWintersParams{mpps, 0.0, 0.0, 10.0, 0.0};
+  SyntheticTraceSpec spec;
+  spec.num_flows = 1000;
+  spec.seed = 3;
+  s.trace = std::make_shared<SyntheticTrace>(spec);
+  return {s};
+}
+
+TEST(PacketGenerator, RejectsBadInput) {
+  EXPECT_THROW(PacketGenerator({}, 1, 1.0), std::invalid_argument);
+  auto services = one_service(1.0);
+  EXPECT_THROW(PacketGenerator(services, 1, 0.0), std::invalid_argument);
+  services[0].trace = nullptr;
+  EXPECT_THROW(PacketGenerator(services, 1, 1.0), std::invalid_argument);
+}
+
+TEST(PacketGenerator, TimesAreNondecreasingAndBounded) {
+  PacketGenerator gen(one_service(0.5), 7, 0.01);
+  TimeNs prev = 0;
+  int n = 0;
+  while (const auto pkt = gen.next()) {
+    ASSERT_GE(pkt->time, prev);
+    ASSERT_LE(pkt->time, from_seconds(0.01));
+    prev = pkt->time;
+    ++n;
+  }
+  EXPECT_GT(n, 0);
+}
+
+TEST(PacketGenerator, RateMatchesPoissonMean) {
+  // 2 Mpps over 20 ms -> expected 40k packets, sd ~200.
+  PacketGenerator gen(one_service(2.0), 11, 0.02);
+  int n = 0;
+  while (gen.next()) ++n;
+  EXPECT_NEAR(n, 40'000, 1'200);
+}
+
+TEST(PacketGenerator, DeterministicForSeed) {
+  PacketGenerator a(one_service(1.0), 5, 0.005);
+  PacketGenerator b(one_service(1.0), 5, 0.005);
+  while (true) {
+    const auto pa = a.next();
+    const auto pb = b.next();
+    ASSERT_EQ(pa.has_value(), pb.has_value());
+    if (!pa) break;
+    ASSERT_EQ(pa->time, pb->time);
+    ASSERT_EQ(pa->gflow, pb->gflow);
+  }
+}
+
+TEST(PacketGenerator, SeedChangesArrivals) {
+  PacketGenerator a(one_service(1.0), 5, 0.002);
+  PacketGenerator b(one_service(1.0), 6, 0.002);
+  const auto pa = a.next();
+  const auto pb = b.next();
+  ASSERT_TRUE(pa && pb);
+  EXPECT_NE(pa->time, pb->time);
+}
+
+TEST(PacketGenerator, MultiServiceGlobalFlowsDisjoint) {
+  std::vector<ServiceTraffic> services;
+  for (int i = 0; i < 4; ++i) {
+    ServiceTraffic s;
+    s.path = static_cast<ServicePath>(i);
+    s.rate = HoltWintersParams{0.5, 0.0, 0.0, 10.0, 0.0};
+    SyntheticTraceSpec spec;
+    spec.num_flows = 100;
+    spec.seed = 50 + static_cast<std::uint64_t>(i);
+    s.trace = std::make_shared<SyntheticTrace>(spec);
+    services.push_back(std::move(s));
+  }
+  PacketGenerator gen(services, 8, 0.01);
+  EXPECT_EQ(gen.total_flows(), 400u);
+
+  std::vector<std::set<std::uint32_t>> flows(4);
+  while (const auto pkt = gen.next()) {
+    flows[static_cast<std::size_t>(pkt->service)].insert(pkt->gflow);
+  }
+  // Each service's gflow range is its own 100-wide window.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_FALSE(flows[i].empty()) << "service " << i;
+    EXPECT_GE(*flows[i].begin(), static_cast<std::uint32_t>(i * 100));
+    EXPECT_LT(*flows[i].rbegin(), static_cast<std::uint32_t>((i + 1) * 100));
+  }
+}
+
+TEST(PacketGenerator, WrapsFiniteTraces) {
+  // A tiny 3-packet pcap-like vector trace, wrapped many times.
+  class TinyTrace final : public TraceSource {
+   public:
+    std::optional<PacketRecord> next() override {
+      if (i_ == 3) return std::nullopt;
+      PacketRecord rec;
+      rec.flow_id = i_++;
+      rec.tuple.src_ip = rec.flow_id + 1;
+      return rec;
+    }
+    void reset() override { i_ = 0; }
+    std::size_t flow_count_hint() const override { return 3; }
+    std::string name() const override { return "tiny"; }
+
+   private:
+    std::uint32_t i_ = 0;
+  };
+  ServiceTraffic s;
+  s.path = ServicePath::kIpForward;
+  s.rate = HoltWintersParams{1.0, 0.0, 0.0, 10.0, 0.0};
+  s.trace = std::make_shared<TinyTrace>();
+  PacketGenerator gen({s}, 2, 0.001);
+  int n = 0;
+  while (const auto pkt = gen.next()) {
+    ASSERT_LT(pkt->gflow, 3u);
+    ++n;
+  }
+  EXPECT_GT(n, 100);  // ~1000 expected; the trace wrapped repeatedly
+}
+
+// ---------------------------------------------------- Load calibration ---
+
+TEST(LoadCalibration, OfferedLoadMatchesHandComputation) {
+  // One service, 1 Mpps flat, all 64 B packets on IP forwarding (0.5 us):
+  // 1e6 pkt/s * 0.5e-6 s = 0.5 core-equivalents; on 16 cores -> 0.03125.
+  auto services = one_service(1.0);
+  auto spec = SyntheticTraceSpec{};
+  spec.num_flows = 100;
+  spec.size_bytes = {64};
+  spec.size_weights = {1.0};
+  services[0].trace = std::make_shared<SyntheticTrace>(spec);
+  DelayModel delay;
+  EXPECT_NEAR(mean_offered_load(services, delay, 16, 1.0), 0.5 / 16.0, 1e-6);
+}
+
+TEST(LoadCalibration, ScaleToLoadHitsTarget) {
+  std::vector<ServiceTraffic> services;
+  const auto params = table4_params(1);
+  for (int i = 0; i < 4; ++i) {
+    ServiceTraffic s;
+    s.path = static_cast<ServicePath>(i);
+    s.rate = params[i];
+    s.trace = make_trace(trace_registry_names()[i]);
+    services.push_back(std::move(s));
+  }
+  DelayModel delay;
+  const auto scaled = scale_to_load(services, delay, 16, 10.0, 0.85);
+  EXPECT_NEAR(mean_offered_load(scaled, delay, 16, 10.0), 0.85, 1e-6);
+  // Relative service mix is preserved.
+  EXPECT_NEAR(scaled[0].rate.a / scaled[1].rate.a,
+              params[0].a / params[1].a, 1e-9);
+}
+
+TEST(LoadCalibration, RejectsBadArguments) {
+  auto services = one_service(1.0);
+  DelayModel delay;
+  EXPECT_THROW(mean_offered_load(services, delay, 0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(mean_offered_load(services, delay, 16, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laps
