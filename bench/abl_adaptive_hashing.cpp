@@ -3,8 +3,10 @@
 // combination the paper's Sec. VI calls "complementary to LAPS"), and LAPS.
 //
 // Usage: abl_adaptive_hashing [--seconds=S] [--traces=...] [--load=1.05]
+//                             [--jobs=N] [--json=PATH]
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,6 +16,8 @@
 #include "baselines/batch.h"
 #include "baselines/static_hash.h"
 #include "core/laps.h"
+#include "exp/harness.h"
+#include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "trace/synthetic.h"
 #include "util/flags.h"
@@ -32,63 +36,67 @@ std::vector<std::string> parse_traces(const std::string& arg) {
   return out;
 }
 
-}  // namespace
+// The "bundle moves/shifts" column pulls a scheduler-specific counter.
+double moves_of(const laps::SimReport& r) {
+  for (const char* key : {"bundle_shifts", "batches_opened", "bundle_moves"}) {
+    if (auto it = r.extra.find(key); it != r.extra.end()) return it->second;
+  }
+  return 0;
+}
 
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+int run(laps::Flags& flags) {
   laps::ScenarioOptions options;
   options.seconds = flags.get_double("seconds", 0.03);
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 55));
   options.num_cores = static_cast<std::size_t>(flags.get_int("cores", 16));
   const double load = flags.get_double("load", 1.05);
   const auto traces = parse_traces(flags.get_string("traces", "caida1,auck1"));
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
+
+  auto store = std::make_shared<laps::TraceStore>();
+  options.trace_factory = store->factory();
+
+  const std::vector<laps::SchedulerSpec> schedulers = {
+      {"StaticHash",
+       [] { return std::make_unique<laps::StaticHashScheduler>(); }},
+      {"AFS", [] { return std::make_unique<laps::AfsScheduler>(); }},
+      {"Batch", [] { return std::make_unique<laps::BatchScheduler>(); }},
+      {"AdaptiveHash",
+       [] { return std::make_unique<laps::AdaptiveHashScheduler>(); }},
+      {"Adaptive+AFD",
+       [] { return std::make_unique<laps::CombinedAdaptiveScheduler>(); }},
+      {"LAPS",
+       []() -> std::unique_ptr<laps::Scheduler> {
+         laps::LapsConfig laps_cfg;
+         laps_cfg.num_services = 1;
+         return std::make_unique<laps::LapsScheduler>(laps_cfg);
+       }},
+  };
+
+  laps::ExperimentPlan plan(options.seed);
+  plan.add_grid(traces, schedulers, {options.seed},
+                [options, load](const std::string& trace, std::uint64_t seed) {
+                  laps::ScenarioOptions o = options;
+                  o.seed = seed;
+                  return laps::make_single_service_scenario(trace, o, load);
+                });
+
+  laps::ParallelRunner runner(harness.jobs);
+  const auto results = runner.run(plan);
 
   std::printf("=== Adaptive hashing family vs AFS and LAPS (single service, "
               "%.0f%% load, %.2f s) ===\n\n",
               load * 100, options.seconds);
   laps::Table out({"trace", "scheduler", "drop%", "ooo", "migrations",
                    "bundle moves/shifts"});
-  for (const std::string& trace : traces) {
-    const auto cfg = laps::make_single_service_scenario(trace, options, load);
-
-    auto add = [&](const laps::SimReport& r, double moves) {
-      out.add_row({trace, r.scheduler, laps::Table::pct(r.drop_ratio()),
-                   laps::Table::num(static_cast<std::int64_t>(r.out_of_order)),
-                   laps::Table::num(static_cast<std::int64_t>(r.flow_migrations)),
-                   laps::Table::num(moves, 0)});
-    };
-    {
-      laps::StaticHashScheduler sched;
-      add(laps::run_scenario(cfg, sched), 0);
-    }
-    {
-      laps::AfsScheduler sched;
-      const auto r = laps::run_scenario(cfg, sched);
-      add(r, r.extra.at("bundle_shifts"));
-    }
-    {
-      laps::BatchScheduler sched;
-      const auto r = laps::run_scenario(cfg, sched);
-      add(r, r.extra.at("batches_opened"));
-    }
-    {
-      laps::AdaptiveHashScheduler sched;
-      const auto r = laps::run_scenario(cfg, sched);
-      add(r, r.extra.at("bundle_moves"));
-    }
-    {
-      laps::CombinedAdaptiveScheduler sched;
-      const auto r = laps::run_scenario(cfg, sched);
-      add(r, r.extra.at("bundle_moves"));
-    }
-    {
-      laps::LapsConfig laps_cfg;
-      laps_cfg.num_services = 1;
-      laps::LapsScheduler sched(laps_cfg);
-      add(laps::run_scenario(cfg, sched), 0);
-    }
-    std::fprintf(stderr, "done: %s\n", trace.c_str());
+  for (const auto& res : results) {
+    const auto& r = res.report;
+    out.add_row({res.scenario, res.scheduler,
+                 laps::Table::pct(r.drop_ratio()),
+                 laps::Table::num(static_cast<std::int64_t>(r.out_of_order)),
+                 laps::Table::num(static_cast<std::int64_t>(r.flow_migrations)),
+                 laps::Table::num(moves_of(r), 0)});
   }
   std::cout << out.to_string();
   std::printf("\nReading: adaptive re-weighting fixes slow bundle skew with "
@@ -96,5 +104,14 @@ int main(int argc, char** argv) {
               "imbalance — together they approach LAPS's single-service "
               "behaviour, which is why the paper calls the scheme "
               "complementary.\n");
+
+  laps::write_json_artifact(harness.json_path, "abl_adaptive_hashing",
+                            results, {{"adaptive_hashing", &out}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

@@ -4,12 +4,14 @@
 // (b) end-to-end drops when used as the static-hash spreading function.
 //
 // Usage: abl_hash_quality [--flows=N] [--trace=caida1] [--seconds=S]
+//                         [--json=PATH]
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "baselines/static_hash.h"
+#include "exp/harness.h"
 #include "sim/scenarios.h"
 #include "trace/synthetic.h"
 #include "util/flags.h"
@@ -57,15 +59,13 @@ class HashVariantScheduler final : public laps::StaticHashScheduler {
   laps::ToeplitzHash toeplitz_;
 };
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+int run(laps::Flags& flags) {
   const auto flows = static_cast<std::size_t>(flags.get_int("flows", 100'000));
   const std::string trace_name = flags.get_string("trace", "caida1");
   laps::ScenarioOptions options;
   options.seconds = flags.get_double("seconds", 0.02);
   options.seed = 23;
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
   const auto kinds = {HashVariantScheduler::Kind::kCrc16,
@@ -146,5 +146,15 @@ int main(int argc, char** argv) {
   std::printf("\nExpected: CRC16 and Toeplitz are statistically uniform and "
               "perform alike; the additive fold correlates with address "
               "structure and loses more packets at equal load.\n");
+
+  laps::write_json_artifact(harness.json_path, "abl_hash_quality", {},
+                            {{"uniformity", &uni}, {"structured", &structured},
+                             {"end_to_end", &e2e}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

@@ -5,21 +5,25 @@
 // *packets* of a real trace prefix that represents.
 //
 // Usage: abl_incremental_hash [--packets=N] [--trace=caida1]
+//                             [--json=PATH]
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "core/map_table.h"
+#include "exp/harness.h"
 #include "trace/flow_stats.h"
 #include "trace/synthetic.h"
 #include "util/flags.h"
 #include "util/tableio.h"
 
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+namespace {
+
+int run(laps::Flags& flags) {
   const auto packets =
       static_cast<std::uint64_t>(flags.get_int("packets", 500'000));
   const std::string trace_name = flags.get_string("trace", "caida1");
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
   // Hash histogram of the trace prefix: packets per 16-bit CRC value.
@@ -70,5 +74,14 @@ int main(int argc, char** argv) {
               "(half of one split bucket) vs ~b/(b+1) for a full rehash — "
               "the reason LAPS can reassign cores without mass flow "
               "migration.\n");
+
+  laps::write_json_artifact(harness.json_path, "abl_incremental_hash", {},
+                            {{"incremental_hash", &out}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

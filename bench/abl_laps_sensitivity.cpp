@@ -4,66 +4,54 @@
 // out as defaults the paper leaves open.
 //
 // Usage: abl_laps_sensitivity [--seconds=S] [--trace=caida1] [--seed=N]
+//                             [--jobs=N] [--json=PATH]
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/laps.h"
+#include "exp/harness.h"
+#include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
 #include "util/tableio.h"
 
 namespace {
 
-void run_and_add(laps::Table& out, const std::string& label,
-                 const laps::LapsConfig& laps_cfg,
-                 const laps::ScenarioConfig& cfg) {
-  laps::LapsScheduler sched(laps_cfg);
-  const auto r = laps::run_scenario(cfg, sched);
-  out.add_row({label, laps::Table::pct(r.drop_ratio()),
-               laps::Table::num(static_cast<std::int64_t>(r.out_of_order)),
-               laps::Table::num(static_cast<std::int64_t>(r.flow_migrations)),
-               laps::Table::num(r.extra.at("aggressive_migrations"), 0),
-               laps::Table::num(r.extra.at("afd_promotions"), 0)});
-  std::fprintf(stderr, "done: %s\n", label.c_str());
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+int run(laps::Flags& flags) {
   laps::ScenarioOptions options;
   options.seconds = flags.get_double("seconds", 0.02);
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 99));
   const std::string trace = flags.get_string("trace", "caida1");
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
-  const auto cfg = laps::make_single_service_scenario(trace, options, 1.05);
+  auto store = std::make_shared<laps::TraceStore>();
+  options.trace_factory = store->factory();
+
   laps::LapsConfig base;
   base.num_services = 1;
 
-  std::printf("=== LAPS sensitivity on %s (single service, 105%% load, "
-              "%.2f s) ===\n\n",
-              trace.c_str(), options.seconds);
-  laps::Table out({"variant", "drop%", "ooo", "migrations",
-                   "aggressive pins", "afd promotions"});
-
-  run_and_add(out, "defaults", base, cfg);
-
+  // Each variant = one (label, LapsConfig) job over the same scenario.
+  std::vector<std::pair<std::string, laps::LapsConfig>> variants;
+  variants.emplace_back("defaults", base);
   for (std::size_t cap : {64u, 256u, 4096u}) {
     laps::LapsConfig c = base;
     c.migration_table_capacity = cap;
-    run_and_add(out, "migration_table=" + std::to_string(cap), c, cfg);
+    variants.emplace_back("migration_table=" + std::to_string(cap), c);
   }
   for (std::uint32_t thresh : {16u, 28u}) {
     laps::LapsConfig c = base;
     c.high_thresh = thresh;
-    run_and_add(out, "high_thresh=" + std::to_string(thresh), c, cfg);
+    variants.emplace_back("high_thresh=" + std::to_string(thresh), c);
   }
   for (std::uint64_t promote : {2u, 32u}) {
     laps::LapsConfig c = base;
     c.afd.promote_threshold = promote;
-    run_and_add(out, "promote_threshold=" + std::to_string(promote), c, cfg);
+    variants.emplace_back("promote_threshold=" + std::to_string(promote), c);
   }
   {
     // The paper's threshold-only promotion pins far more flows; with it, a
@@ -72,24 +60,62 @@ int main(int argc, char** argv) {
     // default hides.
     laps::LapsConfig c = base;
     c.afd.require_beat_afc_min = false;
-    run_and_add(out, "paper promotion rule", c, cfg);
+    variants.emplace_back("paper promotion rule", c);
     c.migration_table_capacity = 128;
-    run_and_add(out, "paper rule + table=128", c, cfg);
+    variants.emplace_back("paper rule + table=128", c);
   }
   {
     laps::LapsConfig c = base;
     c.afd.aging_period = 100'000;
-    run_and_add(out, "afd aging every 100k", c, cfg);
+    variants.emplace_back("afd aging every 100k", c);
   }
   {
     laps::LapsConfig c = base;
     c.afd.sample_probability = 0.01;
-    run_and_add(out, "afd sampling p=1/100", c, cfg);
+    variants.emplace_back("afd sampling p=1/100", c);
+  }
+
+  laps::ExperimentPlan plan(options.seed);
+  for (const auto& [label, laps_cfg] : variants) {
+    plan.add(label, "LAPS", options.seed,
+             [options, trace, laps_cfg]() -> laps::SimReport {
+               const auto cfg =
+                   laps::make_single_service_scenario(trace, options, 1.05);
+               laps::LapsScheduler sched(laps_cfg);
+               return laps::run_scenario(cfg, sched);
+             });
+  }
+
+  laps::ParallelRunner runner(harness.jobs);
+  const auto results = runner.run(plan);
+
+  std::printf("=== LAPS sensitivity on %s (single service, 105%% load, "
+              "%.2f s) ===\n\n",
+              trace.c_str(), options.seconds);
+  laps::Table out({"variant", "drop%", "ooo", "migrations",
+                   "aggressive pins", "afd promotions"});
+  for (const auto& res : results) {
+    const auto& r = res.report;
+    out.add_row(
+        {res.scenario, laps::Table::pct(r.drop_ratio()),
+         laps::Table::num(static_cast<std::int64_t>(r.out_of_order)),
+         laps::Table::num(static_cast<std::int64_t>(r.flow_migrations)),
+         laps::Table::num(r.extra.at("aggressive_migrations"), 0),
+         laps::Table::num(r.extra.at("afd_promotions"), 0)});
   }
   std::cout << out.to_string();
   std::printf("\nReading: drop%% is capacity; ooo/migrations are the "
               "ordering cost. Defaults should sit at or near the best "
               "corner; tiny migration tables re-migrate evicted pins and "
               "inflate ooo.\n");
+
+  laps::write_json_artifact(harness.json_path, "abl_laps_sensitivity",
+                            results, {{"sensitivity", &out}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

@@ -5,26 +5,61 @@
 // locality"; this bench measures both costs.
 //
 // Usage: abl_order_restoration [--seconds=S] [--trace=caida1] [--load=1.0]
+//                              [--jobs=N] [--json=PATH]
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "baselines/fcfs.h"
 #include "core/laps.h"
+#include "exp/harness.h"
+#include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
 #include "util/tableio.h"
 
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+namespace {
+
+int run(laps::Flags& flags) {
   laps::ScenarioOptions options;
   options.seconds = flags.get_double("seconds", 0.03);
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 17));
   options.num_cores = static_cast<std::size_t>(flags.get_int("cores", 16));
   const double load = flags.get_double("load", 0.9);
   const std::string trace = flags.get_string("trace", "caida1");
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
-  auto cfg = laps::make_single_service_scenario(trace, options, load);
+  auto store = std::make_shared<laps::TraceStore>();
+  options.trace_factory = store->factory();
+
+  auto scenario = [options, trace, load](bool restore) {
+    auto cfg = laps::make_single_service_scenario(trace, options, load);
+    cfg.restore_order = restore;
+    return cfg;
+  };
+
+  laps::ExperimentPlan plan(options.seed);
+  plan.add("LAPS (preserve order)", "LAPS", options.seed,
+           [scenario]() -> laps::SimReport {
+             laps::LapsConfig laps_cfg;
+             laps_cfg.num_services = 1;
+             laps::LapsScheduler sched(laps_cfg);
+             return laps::run_scenario(scenario(false), sched);
+           });
+  plan.add("FCFS, no buffer (reorders!)", "FCFS", options.seed,
+           [scenario]() -> laps::SimReport {
+             laps::FcfsScheduler sched;
+             return laps::run_scenario(scenario(false), sched);
+           });
+  plan.add("FCFS + reorder buffer", "FCFS", options.seed,
+           [scenario]() -> laps::SimReport {
+             laps::FcfsScheduler sched;
+             return laps::run_scenario(scenario(true), sched);
+           });
+
+  laps::ParallelRunner runner(harness.jobs);
+  const auto results = runner.run(plan);
 
   std::printf("=== Order preservation (LAPS) vs restoration (FCFS + egress "
               "reorder buffer), %s at %.0f%% load ===\n\n",
@@ -32,34 +67,18 @@ int main(int argc, char** argv) {
   laps::Table out({"scheme", "wire ooo", "drop%", "fm penalties",
                    "rob peak pkts", "rob buffered", "rob mean hold us",
                    "p99 latency us"});
-
-  auto add = [&](const char* label, const laps::SimReport& r) {
+  for (const auto& res : results) {
+    const auto& r = res.report;
     const bool rob = r.extra.count("rob_max_occupancy") > 0;
     out.add_row(
-        {label, laps::Table::num(static_cast<std::int64_t>(r.out_of_order)),
+        {res.scenario,
+         laps::Table::num(static_cast<std::int64_t>(r.out_of_order)),
          laps::Table::pct(r.drop_ratio()),
          laps::Table::num(static_cast<std::int64_t>(r.fm_penalties)),
          rob ? laps::Table::num(r.extra.at("rob_max_occupancy"), 0) : "-",
          rob ? laps::Table::num(r.extra.at("rob_buffered_packets"), 0) : "-",
          rob ? laps::Table::num(r.extra.at("rob_mean_held_us"), 2) : "-",
          laps::Table::num(laps::to_us(r.latency_ns.quantile(0.99)), 1)});
-  };
-
-  {
-    laps::LapsConfig laps_cfg;
-    laps_cfg.num_services = 1;
-    laps::LapsScheduler sched(laps_cfg);
-    add("LAPS (preserve order)", laps::run_scenario(cfg, sched));
-  }
-  {
-    laps::FcfsScheduler sched;
-    add("FCFS, no buffer (reorders!)", laps::run_scenario(cfg, sched));
-  }
-  {
-    cfg.restore_order = true;
-    laps::FcfsScheduler sched;
-    add("FCFS + reorder buffer", laps::run_scenario(cfg, sched));
-    cfg.restore_order = false;
   }
   std::cout << out.to_string();
   std::printf(
@@ -67,5 +86,14 @@ int main(int argc, char** argv) {
       "pays output storage (peak pkts) and hold latency, and the spraying "
       "still destroys flow locality (fm penalties) — the paper's Sec. VI "
       "argument, quantified.\n");
+
+  laps::write_json_artifact(harness.json_path, "abl_order_restoration",
+                            results, {{"order_restoration", &out}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

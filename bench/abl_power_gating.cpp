@@ -6,10 +6,15 @@
 //   P(core) = busy * P_active + parked * P_sleep + otherwise * P_idle
 //
 // Usage: abl_power_gating [--seconds=S] [--trace=caida1] [--cores=16]
+//                         [--jobs=N] [--json=PATH]
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "core/laps.h"
+#include "exp/harness.h"
+#include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
 #include "util/tableio.h"
@@ -30,15 +35,13 @@ double energy(const laps::SimReport& r, std::size_t cores, double seconds) {
   return busy * kActiveW + idle * kIdleW + parked * kSleepW;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+int run(laps::Flags& flags) {
   laps::ScenarioOptions options;
   options.seconds = flags.get_double("seconds", 0.05);
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 31));
   options.num_cores = static_cast<std::size_t>(flags.get_int("cores", 16));
   const std::string trace = flags.get_string("trace", "caida1");
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
   std::printf("=== Power gating: packet cost vs energy, %zu cores, %s, "
@@ -48,31 +51,45 @@ int main(int argc, char** argv) {
               "sleep %.2f\n\n",
               kActiveW, kIdleW, kSleepW);
 
+  auto store = std::make_shared<laps::TraceStore>();
+  options.trace_factory = store->factory();
+
+  laps::ExperimentPlan plan(options.seed);
+  for (double load : {0.2, 0.4, 0.6, 0.8}) {
+    for (bool gating : {false, true}) {
+      plan.add("load=" + laps::Table::pct(load, 0), gating ? "on" : "off",
+               options.seed, [options, trace, load, gating]() {
+                 const auto cfg = laps::make_single_service_scenario(
+                     trace, options, load);
+                 laps::LapsConfig laps_cfg;
+                 laps_cfg.num_services = 1;
+                 laps_cfg.power_gating = gating;
+                 laps::LapsScheduler sched(laps_cfg);
+                 return laps::run_scenario(cfg, sched);
+               });
+    }
+  }
+
+  laps::ParallelRunner runner(harness.jobs);
+  const auto results = runner.run(plan);
+
   laps::Table out({"load", "gating", "drop%", "parked core-s", "sleep/wake",
                    "energy (core-s eq)", "energy saved"});
-  for (double load : {0.2, 0.4, 0.6, 0.8}) {
-    const auto cfg =
-        laps::make_single_service_scenario(trace, options, load);
-    double baseline_energy = 0.0;
-    for (bool gating : {false, true}) {
-      laps::LapsConfig laps_cfg;
-      laps_cfg.num_services = 1;
-      laps_cfg.power_gating = gating;
-      laps::LapsScheduler sched(laps_cfg);
-      const auto r = laps::run_scenario(cfg, sched);
-      const double e = energy(r, options.num_cores, options.seconds);
-      if (!gating) baseline_energy = e;
-      const double parked_s = gating ? r.extra.at("parked_core_us") / 1e6 : 0;
-      out.add_row(
-          {laps::Table::pct(load, 0), gating ? "on" : "off",
-           laps::Table::pct(r.drop_ratio()), laps::Table::num(parked_s, 4),
-           gating ? laps::Table::num(r.extra.at("sleep_events"), 0) + "/" +
-                        laps::Table::num(r.extra.at("wake_events"), 0)
-                  : "-",
-           laps::Table::num(e, 4),
-           gating ? laps::Table::pct(1.0 - e / baseline_energy) : "-"});
-    }
-    std::fprintf(stderr, "done: load %.1f\n", load);
+  double baseline_energy = 0.0;
+  for (const auto& res : results) {
+    const auto& r = res.report;
+    const bool gating = res.scheduler == "on";
+    const double e = energy(r, options.num_cores, options.seconds);
+    if (!gating) baseline_energy = e;  // "off" precedes "on" in plan order
+    const double parked_s = gating ? r.extra.at("parked_core_us") / 1e6 : 0;
+    out.add_row(
+        {res.scenario, res.scheduler,
+         laps::Table::pct(r.drop_ratio()), laps::Table::num(parked_s, 4),
+         gating ? laps::Table::num(r.extra.at("sleep_events"), 0) + "/" +
+                      laps::Table::num(r.extra.at("wake_events"), 0)
+                : "-",
+         laps::Table::num(e, 4),
+         gating ? laps::Table::pct(1.0 - e / baseline_energy) : "-"});
   }
   std::cout << out.to_string();
   std::printf(
@@ -82,5 +99,14 @@ int main(int argc, char** argv) {
       "FM-penalty work than the brief sleep saves — deploy with a "
       "utilization-gated enable, exactly the conclusion of the "
       "traffic-aware power-management literature the paper cites.\n");
+
+  laps::write_json_artifact(harness.json_path, "abl_power_gating", results,
+                            {{"power_gating", &out}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

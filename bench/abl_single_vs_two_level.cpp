@@ -5,19 +5,23 @@
 // several state budgets, on CAIDA-like and Auckland-like traces.
 //
 // Usage: abl_single_vs_two_level [--packets=N] [--traces=...|all]
+//                                [--jobs=N] [--json=PATH]
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/afd.h"
 #include "cache/elephant_trap.h"
 #include "cache/topk.h"
+#include "exp/harness.h"
 #include "trace/synthetic.h"
 #include "util/flags.h"
 #include "util/tableio.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -32,14 +36,12 @@ std::vector<std::string> parse_traces(const std::string& arg) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+int run(laps::Flags& flags) {
   const auto packets =
       static_cast<std::uint64_t>(flags.get_int("packets", 2'000'000));
   const auto traces =
       parse_traces(flags.get_string("traces", "caida1,auck1"));
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
   std::printf("=== Single-level cache vs two-level AFD, top-16 FPR (%llu "
@@ -48,40 +50,50 @@ int main(int argc, char** argv) {
   std::printf("State budgets compare equal total entries: trap(N) vs "
               "AFD(16 AFC + N-16 annex).\n\n");
 
-  laps::Table out({"trace", "entries", "single-level FPR",
-                   "two-level FPR", "two-level+guard FPR"});
+  std::vector<std::pair<std::string, std::size_t>> cells;
   for (const std::string& name : traces) {
     for (std::size_t entries : {16u, 64u, 256u, 1024u}) {
-      laps::ElephantTrap trap(entries, 16);
-      laps::AfdConfig cfg;
-      cfg.afc_entries = 16;
-      cfg.annex_entries = entries > 16 ? entries - 16 : 16;
-      laps::Afd afd(cfg);
-      laps::AfdConfig guarded_cfg = cfg;
-      guarded_cfg.require_beat_afc_min = true;
-      laps::Afd guarded(guarded_cfg);
-      laps::ExactTopK truth;
-
-      auto trace = laps::make_trace(name);
-      for (std::uint64_t i = 0; i < packets; ++i) {
-        const std::uint64_t key = trace->next()->tuple.key64();
-        truth.access(key);
-        trap.access(key);
-        afd.access(key);
-        guarded.access(key);
-      }
-      const auto trap_acc = laps::score_detector(truth, trap.elephants(), 16);
-      const auto afd_acc =
-          laps::score_detector(truth, afd.aggressive_flows(), 16);
-      const auto guarded_acc =
-          laps::score_detector(truth, guarded.aggressive_flows(), 16);
-      out.add_row({name, std::to_string(entries),
-                   laps::Table::pct(trap_acc.false_positive_ratio(), 1),
-                   laps::Table::pct(afd_acc.false_positive_ratio(), 1),
-                   laps::Table::pct(guarded_acc.false_positive_ratio(), 1)});
+      cells.emplace_back(name, entries);
     }
-    std::fprintf(stderr, "done: %s\n", name.c_str());
   }
+
+  const auto rows = laps::parallel_index_map(
+      harness.jobs, cells.size(), [&](std::size_t i) {
+        const auto& [name, entries] = cells[i];
+        laps::ElephantTrap trap(entries, 16);
+        laps::AfdConfig cfg;
+        cfg.afc_entries = 16;
+        cfg.annex_entries = entries > 16 ? entries - 16 : 16;
+        laps::Afd afd(cfg);
+        laps::AfdConfig guarded_cfg = cfg;
+        guarded_cfg.require_beat_afc_min = true;
+        laps::Afd guarded(guarded_cfg);
+        laps::ExactTopK truth;
+
+        auto trace = laps::make_trace(name);
+        for (std::uint64_t p = 0; p < packets; ++p) {
+          const std::uint64_t key = trace->next()->tuple.key64();
+          truth.access(key);
+          trap.access(key);
+          afd.access(key);
+          guarded.access(key);
+        }
+        const auto trap_acc = laps::score_detector(truth, trap.elephants(), 16);
+        const auto afd_acc =
+            laps::score_detector(truth, afd.aggressive_flows(), 16);
+        const auto guarded_acc =
+            laps::score_detector(truth, guarded.aggressive_flows(), 16);
+        std::fprintf(stderr, "done: %s/%zu\n", name.c_str(), entries);
+        return std::vector<std::string>{
+            name, std::to_string(entries),
+            laps::Table::pct(trap_acc.false_positive_ratio(), 1),
+            laps::Table::pct(afd_acc.false_positive_ratio(), 1),
+            laps::Table::pct(guarded_acc.false_positive_ratio(), 1)};
+      });
+
+  laps::Table out({"trace", "entries", "single-level FPR",
+                   "two-level FPR", "two-level+guard FPR"});
+  for (auto row : rows) out.add_row(std::move(row));
   std::cout << out.to_string();
   std::printf(
       "\nReading: at 16 entries the single cache is the paper's comparator "
@@ -89,5 +101,14 @@ int main(int argc, char** argv) {
       "16-entry decision\nstructure. A large single LFU also converges — "
       "but then the migration\ndecision must search the full structure, "
       "not 16 entries.\n");
+
+  laps::write_json_artifact(harness.json_path, "abl_single_vs_two_level", {},
+                            {{"single_vs_two_level", &out}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

@@ -4,16 +4,19 @@
 // by the synthetic registry.
 //
 // Usage: fig2_flow_dist [--packets=N] [--traces=name,name,...|all]
+//                       [--jobs=N] [--json=PATH]
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "exp/harness.h"
 #include "trace/flow_stats.h"
 #include "trace/synthetic.h"
 #include "util/flags.h"
 #include "util/tableio.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -28,14 +31,12 @@ std::vector<std::string> parse_traces(const std::string& arg) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+int run(laps::Flags& flags) {
   const auto packets =
       static_cast<std::uint64_t>(flags.get_int("packets", 1'000'000));
   const auto traces =
       parse_traces(flags.get_string("traces", "caida1,caida2,auck1,auck2"));
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
   std::printf("=== Tables I/II: trace registry (synthetic substitutes; see "
@@ -54,12 +55,15 @@ int main(int argc, char** argv) {
 
   std::printf("=== Fig. 2: flow-size distribution (%llu packets/trace) ===\n",
               static_cast<unsigned long long>(packets));
-  laps::Table fig({"rank"});
-  std::vector<laps::FlowStatsAnalyzer> stats(traces.size());
-  for (std::size_t t = 0; t < traces.size(); ++t) {
-    auto trace = laps::make_trace(traces[t]);
-    stats[t].consume(*trace, packets);
-  }
+  // One independent analysis pass per trace.
+  std::vector<laps::FlowStatsAnalyzer> stats = laps::parallel_index_map(
+      harness.jobs, traces.size(), [&](std::size_t t) {
+        laps::FlowStatsAnalyzer analyzer;
+        auto trace = laps::make_trace(traces[t]);
+        analyzer.consume(*trace, packets);
+        std::fprintf(stderr, "done: fig2/%s\n", traces[t].c_str());
+        return analyzer;
+      });
   // Log-spaced ranks, as in the paper's log-log axes.
   std::vector<std::size_t> ranks;
   for (std::size_t r = 1; r <= 100'000; r *= 10) {
@@ -94,5 +98,15 @@ int main(int argc, char** argv) {
                   laps::Table::pct(stats[t].top_share(100))});
   }
   std::cout << head.to_string();
+
+  laps::write_json_artifact(
+      harness.json_path, "fig2_flow_dist", {},
+      {{"inventory", &inventory}, {"fig2", &out}, {"head", &head}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

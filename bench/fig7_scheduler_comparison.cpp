@@ -10,7 +10,8 @@
 // length.
 //
 // Usage: fig7_scheduler_comparison [--seconds=S] [--seed=N] [--cores=N]
-//                                  [--scenarios=T1,T5|all]
+//                                  [--scenarios=T1,T5|all] [--jobs=N]
+//                                  [--json=PATH]
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -21,6 +22,8 @@
 #include "baselines/afs.h"
 #include "baselines/fcfs.h"
 #include "core/laps.h"
+#include "exp/harness.h"
+#include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
 #include "util/tableio.h"
@@ -39,16 +42,14 @@ std::vector<std::string> parse_list(const std::string& arg,
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+int run(laps::Flags& flags) {
   laps::ScenarioOptions options;
   options.seconds = flags.get_double("seconds", 0.25);
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2013));
   options.num_cores = static_cast<std::size_t>(flags.get_int("cores", 16));
   const auto scenario_ids = parse_list(flags.get_string("scenarios", "all"),
                                        laps::paper_scenario_ids());
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
   std::printf("=== Table IV: Holt-Winters parameter sets (a,b in Mpps, m in "
@@ -79,39 +80,65 @@ int main(int argc, char** argv) {
   }
   std::cout << t56.to_string() << "\n";
 
+  // All jobs replay the same traces through a shared store: packets are
+  // materialized once and read concurrently, and every job's calibration
+  // sees the identical size mix it would see opening the trace directly.
+  auto store = std::make_shared<laps::TraceStore>();
+  options.trace_factory = store->factory();
+
+  const std::vector<laps::SchedulerSpec> schedulers = {
+      {"FCFS", [] { return std::make_unique<laps::FcfsScheduler>(); }},
+      {"AFS", [] { return std::make_unique<laps::AfsScheduler>(); }},
+      {"LAPS",
+       []() -> std::unique_ptr<laps::Scheduler> {
+         laps::LapsConfig laps_cfg;
+         laps_cfg.num_services = laps::kNumServices;
+         return std::make_unique<laps::LapsScheduler>(laps_cfg);
+       }},
+  };
+
+  laps::ExperimentPlan plan(options.seed);
+  plan.add_grid(scenario_ids, schedulers, {options.seed},
+                [options](const std::string& id, std::uint64_t seed) {
+                  laps::ScenarioOptions o = options;
+                  o.seed = seed;
+                  return laps::make_paper_scenario(id, o);
+                });
+
+  laps::ParallelRunner runner(harness.jobs);
+  const auto results = runner.run(plan);
+
   std::printf("=== Fig. 7: LAPS vs FCFS vs AFS, %zu cores, %.2f s, seed %llu "
               "===\n",
               options.num_cores, options.seconds,
               static_cast<unsigned long long>(options.seed));
   laps::Table fig({"scenario", "scheduler", "offered", "dropped", "drop%",
                    "cold%", "ooo", "ooo%", "migrations", "thru Mpps"});
-  for (const std::string& id : scenario_ids) {
-    const auto cfg = laps::make_paper_scenario(id, options);
-    std::vector<std::unique_ptr<laps::Scheduler>> scheds;
-    scheds.push_back(std::make_unique<laps::FcfsScheduler>());
-    scheds.push_back(std::make_unique<laps::AfsScheduler>());
-    laps::LapsConfig laps_cfg;
-    laps_cfg.num_services = laps::kNumServices;
-    scheds.push_back(std::make_unique<laps::LapsScheduler>(laps_cfg));
-
-    for (auto& sched : scheds) {
-      const auto r = laps::run_scenario(cfg, *sched);
-      fig.add_row({id, r.scheduler,
-                   laps::Table::num(static_cast<std::int64_t>(r.offered)),
-                   laps::Table::num(static_cast<std::int64_t>(r.dropped)),
-                   laps::Table::pct(r.drop_ratio()),
-                   laps::Table::pct(r.cold_cache_ratio()),
-                   laps::Table::num(static_cast<std::int64_t>(r.out_of_order)),
-                   laps::Table::pct(r.ooo_ratio(), 4),
-                   laps::Table::num(static_cast<std::int64_t>(r.flow_migrations)),
-                   laps::Table::num(r.throughput_mpps(), 3)});
-      std::fprintf(stderr, "done: %s/%s\n", id.c_str(), r.scheduler.c_str());
-    }
+  for (const auto& res : results) {
+    const auto& r = res.report;
+    fig.add_row({res.scenario, res.scheduler,
+                 laps::Table::num(static_cast<std::int64_t>(r.offered)),
+                 laps::Table::num(static_cast<std::int64_t>(r.dropped)),
+                 laps::Table::pct(r.drop_ratio()),
+                 laps::Table::pct(r.cold_cache_ratio()),
+                 laps::Table::num(static_cast<std::int64_t>(r.out_of_order)),
+                 laps::Table::pct(r.ooo_ratio(), 4),
+                 laps::Table::num(static_cast<std::int64_t>(r.flow_migrations)),
+                 laps::Table::num(r.throughput_mpps(), 3)});
   }
   std::cout << fig.to_string();
   std::printf(
       "\nFig. 7a = drop%% column | Fig. 7b = cold%% column | Fig. 7c = ooo "
       "columns.\nExpected shape (paper): LAPS lowest drops everywhere; "
       "FCFS/AFS ~60%% cold vs ~0 for LAPS; FCFS >> AFS > LAPS on ooo.\n");
+
+  laps::write_json_artifact(harness.json_path, "fig7_scheduler_comparison",
+                            results, {{"fig7", &fig}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

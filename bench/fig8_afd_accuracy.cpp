@@ -7,6 +7,7 @@
 //       1 .. 1/10k.
 //
 // Usage: fig8_afd_accuracy [--packets=N] [--traces=...|all] [--afc=16]
+//                          [--jobs=N] [--json=PATH]
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -16,9 +17,11 @@
 
 #include "cache/afd.h"
 #include "cache/topk.h"
+#include "exp/harness.h"
 #include "trace/synthetic.h"
 #include "util/flags.h"
 #include "util/tableio.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -33,15 +36,13 @@ std::vector<std::string> parse_traces(const std::string& arg) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+int run(laps::Flags& flags) {
   const auto packets =
       static_cast<std::uint64_t>(flags.get_int("packets", 2'000'000));
   const auto traces =
       parse_traces(flags.get_string("traces", "caida1,caida2,auck1,auck2"));
   const auto afc_entries = static_cast<std::size_t>(flags.get_int("afc", 16));
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
   // ---------------------------------------------------------- Fig. 8a ----
@@ -56,32 +57,35 @@ int main(int argc, char** argv) {
     }
     return headers;
   }());
-  for (const std::string& name : traces) {
-    // One pass over the trace feeds every annex size simultaneously.
-    std::vector<std::unique_ptr<laps::Afd>> afds;
-    for (std::size_t a : annex_sizes) {
-      laps::AfdConfig cfg;
-      cfg.afc_entries = afc_entries;
-      cfg.annex_entries = a;
-      afds.push_back(std::make_unique<laps::Afd>(cfg));
-    }
-    laps::ExactTopK truth;
-    auto trace = laps::make_trace(name);
-    for (std::uint64_t i = 0; i < packets; ++i) {
-      const auto rec = trace->next();
-      const std::uint64_t key = rec->tuple.key64();
-      truth.access(key);
-      for (auto& afd : afds) afd->access(key);
-    }
-    std::vector<std::string> row{name};
-    for (auto& afd : afds) {
-      const auto acc = laps::score_detector(truth, afd->aggressive_flows(),
-                                            afc_entries);
-      row.push_back(laps::Table::pct(acc.false_positive_ratio(), 1));
-    }
-    fig_a.add_row(std::move(row));
-    std::fprintf(stderr, "done: fig8a/%s\n", name.c_str());
-  }
+  // One independent job per trace; each feeds every annex size in one pass.
+  const auto rows_a = laps::parallel_index_map(
+      harness.jobs, traces.size(), [&](std::size_t t) {
+        const std::string& name = traces[t];
+        std::vector<std::unique_ptr<laps::Afd>> afds;
+        for (std::size_t a : annex_sizes) {
+          laps::AfdConfig cfg;
+          cfg.afc_entries = afc_entries;
+          cfg.annex_entries = a;
+          afds.push_back(std::make_unique<laps::Afd>(cfg));
+        }
+        laps::ExactTopK truth;
+        auto trace = laps::make_trace(name);
+        for (std::uint64_t i = 0; i < packets; ++i) {
+          const auto rec = trace->next();
+          const std::uint64_t key = rec->tuple.key64();
+          truth.access(key);
+          for (auto& afd : afds) afd->access(key);
+        }
+        std::vector<std::string> row{name};
+        for (auto& afd : afds) {
+          const auto acc = laps::score_detector(truth, afd->aggressive_flows(),
+                                                afc_entries);
+          row.push_back(laps::Table::pct(acc.false_positive_ratio(), 1));
+        }
+        std::fprintf(stderr, "done: fig8a/%s\n", name.c_str());
+        return row;
+      });
+  for (auto row : rows_a) fig_a.add_row(std::move(row));
   std::cout << fig_a.to_string() << "\n";
 
   // ---------------------------------------------------------- Fig. 8b ----
@@ -93,38 +97,41 @@ int main(int argc, char** argv) {
     for (std::uint64_t w : windows) headers.push_back("W=" + std::to_string(w));
     return headers;
   }());
-  for (const std::string& name : traces) {
-    std::vector<std::string> row{name};
-    for (std::uint64_t window : windows) {
-      laps::AfdConfig cfg;
-      cfg.afc_entries = afc_entries;
-      cfg.annex_entries = 512;
-      laps::Afd afd(cfg);
-      laps::ExactTopK truth;
-      auto trace = laps::make_trace(name);
-      double recall_sum = 0.0;
-      std::uint64_t checks = 0;
-      for (std::uint64_t i = 1; i <= packets; ++i) {
-        const auto rec = trace->next();
-        const std::uint64_t key = rec->tuple.key64();
-        truth.access(key);
-        afd.access(key);
-        if (i % window == 0) {
-          // "accuracy is checked at every fixed interval" against the
-          // cumulative off-line top-k at that instant.
-          const auto acc = laps::score_detector(
-              truth, afd.aggressive_flows(), afc_entries);
-          recall_sum += 1.0 - acc.false_positive_ratio();
-          ++checks;
+  const auto rows_b = laps::parallel_index_map(
+      harness.jobs, traces.size(), [&](std::size_t t) {
+        const std::string& name = traces[t];
+        std::vector<std::string> row{name};
+        for (std::uint64_t window : windows) {
+          laps::AfdConfig cfg;
+          cfg.afc_entries = afc_entries;
+          cfg.annex_entries = 512;
+          laps::Afd afd(cfg);
+          laps::ExactTopK truth;
+          auto trace = laps::make_trace(name);
+          double recall_sum = 0.0;
+          std::uint64_t checks = 0;
+          for (std::uint64_t i = 1; i <= packets; ++i) {
+            const auto rec = trace->next();
+            const std::uint64_t key = rec->tuple.key64();
+            truth.access(key);
+            afd.access(key);
+            if (i % window == 0) {
+              // "accuracy is checked at every fixed interval" against the
+              // cumulative off-line top-k at that instant.
+              const auto acc = laps::score_detector(
+                  truth, afd.aggressive_flows(), afc_entries);
+              recall_sum += 1.0 - acc.false_positive_ratio();
+              ++checks;
+            }
+          }
+          row.push_back(checks
+                            ? laps::Table::pct(recall_sum / static_cast<double>(checks), 1)
+                            : "-");
         }
-      }
-      row.push_back(checks
-                        ? laps::Table::pct(recall_sum / static_cast<double>(checks), 1)
-                        : "-");
-    }
-    fig_b.add_row(std::move(row));
-    std::fprintf(stderr, "done: fig8b/%s\n", name.c_str());
-  }
+        std::fprintf(stderr, "done: fig8b/%s\n", name.c_str());
+        return row;
+      });
+  for (auto row : rows_b) fig_b.add_row(std::move(row));
   std::cout << fig_b.to_string() << "\n";
 
   // ---------------------------------------------------------- Fig. 8c ----
@@ -138,37 +145,50 @@ int main(int argc, char** argv) {
     }
     return headers;
   }());
-  for (const std::string& name : traces) {
-    std::vector<std::unique_ptr<laps::Afd>> afds;
-    for (double p : probabilities) {
-      laps::AfdConfig cfg;
-      cfg.afc_entries = afc_entries;
-      cfg.annex_entries = 512;
-      cfg.sample_probability = p;
-      afds.push_back(std::make_unique<laps::Afd>(cfg));
-    }
-    laps::ExactTopK truth;
-    auto trace = laps::make_trace(name);
-    for (std::uint64_t i = 0; i < packets; ++i) {
-      const auto rec = trace->next();
-      const std::uint64_t key = rec->tuple.key64();
-      truth.access(key);
-      for (auto& afd : afds) afd->access(key);
-    }
-    std::vector<std::string> row{name};
-    for (auto& afd : afds) {
-      const auto acc = laps::score_detector(truth, afd->aggressive_flows(),
-                                            afc_entries);
-      row.push_back(laps::Table::pct(acc.false_positive_ratio(), 1));
-    }
-    fig_c.add_row(std::move(row));
-    std::fprintf(stderr, "done: fig8c/%s\n", name.c_str());
-  }
+  const auto rows_c = laps::parallel_index_map(
+      harness.jobs, traces.size(), [&](std::size_t t) {
+        const std::string& name = traces[t];
+        std::vector<std::unique_ptr<laps::Afd>> afds;
+        for (double p : probabilities) {
+          laps::AfdConfig cfg;
+          cfg.afc_entries = afc_entries;
+          cfg.annex_entries = 512;
+          cfg.sample_probability = p;
+          afds.push_back(std::make_unique<laps::Afd>(cfg));
+        }
+        laps::ExactTopK truth;
+        auto trace = laps::make_trace(name);
+        for (std::uint64_t i = 0; i < packets; ++i) {
+          const auto rec = trace->next();
+          const std::uint64_t key = rec->tuple.key64();
+          truth.access(key);
+          for (auto& afd : afds) afd->access(key);
+        }
+        std::vector<std::string> row{name};
+        for (auto& afd : afds) {
+          const auto acc = laps::score_detector(truth, afd->aggressive_flows(),
+                                                afc_entries);
+          row.push_back(laps::Table::pct(acc.false_positive_ratio(), 1));
+        }
+        std::fprintf(stderr, "done: fig8c/%s\n", name.c_str());
+        return row;
+      });
+  for (auto row : rows_c) fig_c.add_row(std::move(row));
   std::cout << fig_c.to_string();
   std::printf(
       "\nExpected shape (paper): (a) FPR falls as annex grows; Auckland "
       "reaches ~0%% at 512 while CAIDA needs 1024; (b) >90%% accuracy at "
       "every window size; (c) sampling up to 1/1k matches or beats p=1, "
       "then degrades for CAIDA.\n");
+
+  laps::write_json_artifact(
+      harness.json_path, "fig8_afd_accuracy", {},
+      {{"fig8a", &fig_a}, {"fig8b", &fig_b}, {"fig8c", &fig_c}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

@@ -7,11 +7,13 @@
 // Also includes the Shi-style exact-statistics oracle as a reference.
 //
 // Usage: fig9_topk_migration [--seconds=S] [--seed=N] [--cores=N]
-//                            [--load=1.05] [--traces=...|all]
+//                            [--load=1.05] [--traces=...|all] [--jobs=N]
+//                            [--json=PATH]
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,8 @@
 #include "baselines/oracle_topk.h"
 #include "baselines/static_hash.h"
 #include "core/laps.h"
+#include "exp/harness.h"
+#include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "trace/synthetic.h"
 #include "util/flags.h"
@@ -44,10 +48,7 @@ std::string rel(std::uint64_t value, std::uint64_t base) {
                           2);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+int run(laps::Flags& flags) {
   laps::ScenarioOptions options;
   options.seconds = flags.get_double("seconds", 0.05);
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 99));
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
   const double load = flags.get_double("load", 1.05);
   const auto traces =
       parse_traces(flags.get_string("traces", "caida1,caida2,auck1,auck2"));
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
   std::printf("=== Fig. 9: single service (IP forwarding), %zu cores, "
@@ -62,41 +64,59 @@ int main(int argc, char** argv) {
               options.num_cores, load * 100.0, options.seconds);
   std::printf("All ratios are relative to AFS (paper's presentation).\n\n");
 
+  auto store = std::make_shared<laps::TraceStore>();
+  options.trace_factory = store->factory();
+
+  std::vector<laps::SchedulerSpec> schedulers = {
+      {"AFS", [] { return std::make_unique<laps::AfsScheduler>(); }},
+      {"StaticHash",
+       [] { return std::make_unique<laps::StaticHashScheduler>(); }},
+  };
+  for (std::size_t k : {4u, 8u, 10u, 16u}) {
+    schedulers.push_back(
+        {"LAPS top-" + std::to_string(k),
+         [k]() -> std::unique_ptr<laps::Scheduler> {
+           laps::LapsConfig laps_cfg;
+           laps_cfg.num_services = 1;
+           laps_cfg.afd.afc_entries = k;
+           return std::make_unique<laps::LapsScheduler>(laps_cfg);
+         }});
+  }
+  schedulers.push_back({"OracleTop16", [] {
+                          return std::make_unique<laps::OracleTopKScheduler>(
+                              16);
+                        }});
+
+  laps::ExperimentPlan plan(options.seed);
+  plan.add_grid(traces, schedulers, {options.seed},
+                [options, load](const std::string& trace, std::uint64_t seed) {
+                  laps::ScenarioOptions o = options;
+                  o.seed = seed;
+                  return laps::make_single_service_scenario(trace, o, load);
+                });
+
+  laps::ParallelRunner runner(harness.jobs);
+  const auto results = runner.run(plan);
+
+  // Ratios are computed after collection: each trace's AFS row is the base
+  // for every scheduler of that trace (plan order is trace-major, AFS
+  // first, so the base always precedes its dependents).
   laps::Table fig({"trace", "scheduler", "drop%", "drops/AFS", "ooo/AFS",
                    "migrations/AFS", "migrations"});
-  for (const std::string& trace : traces) {
-    const auto cfg = laps::make_single_service_scenario(trace, options, load);
-
-    laps::AfsScheduler afs;
-    const auto afs_report = laps::run_scenario(cfg, afs);
-
-    auto add = [&](const laps::SimReport& r) {
-      fig.add_row({trace, r.scheduler, laps::Table::pct(r.drop_ratio()),
-                   rel(r.dropped, afs_report.dropped),
-                   rel(r.out_of_order, afs_report.out_of_order),
-                   rel(r.flow_migrations, afs_report.flow_migrations),
-                   laps::Table::num(static_cast<std::int64_t>(
-                       r.flow_migrations))});
-    };
-    add(afs_report);
-    {
-      laps::StaticHashScheduler sched;
-      add(laps::run_scenario(cfg, sched));
+  const laps::SimReport* afs_base = nullptr;
+  for (const auto& res : results) {
+    const auto& r = res.report;
+    if (res.scheduler == "AFS") afs_base = &r;
+    if (afs_base == nullptr) {
+      throw std::logic_error("fig9: no AFS base row for " + res.scenario);
     }
-    for (std::size_t k : {4u, 8u, 10u, 16u}) {
-      laps::LapsConfig laps_cfg;
-      laps_cfg.num_services = 1;
-      laps_cfg.afd.afc_entries = k;
-      laps::LapsScheduler sched(laps_cfg);
-      auto r = laps::run_scenario(cfg, sched);
-      r.scheduler = "LAPS top-" + std::to_string(k);
-      add(r);
-    }
-    {
-      laps::OracleTopKScheduler sched(16);
-      add(laps::run_scenario(cfg, sched));
-    }
-    std::fprintf(stderr, "done: fig9/%s\n", trace.c_str());
+    fig.add_row({res.scenario, res.scheduler,
+                 laps::Table::pct(r.drop_ratio()),
+                 rel(r.dropped, afs_base->dropped),
+                 rel(r.out_of_order, afs_base->out_of_order),
+                 rel(r.flow_migrations, afs_base->flow_migrations),
+                 laps::Table::num(static_cast<std::int64_t>(
+                     r.flow_migrations))});
   }
   std::cout << fig.to_string();
   std::printf(
@@ -105,5 +125,14 @@ int main(int argc, char** argv) {
       "(paper): no-migration drops far more than AFS; LAPS top-10/16 "
       "matches or beats AFS drops; ooo and migrations fall ~80-85%% vs "
       "AFS.\n");
+
+  laps::write_json_artifact(harness.json_path, "fig9_topk_migration", results,
+                            {{"fig9", &fig}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

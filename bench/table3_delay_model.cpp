@@ -3,17 +3,20 @@
 // evaluated over the packet-size mixes the traces use. This is the bench
 // that documents the GEMS-derived constants our simulator plugs in.
 //
-// Usage: table3_delay_model
+// Usage: table3_delay_model [--json=PATH]
 #include <cstdio>
 #include <iostream>
 
+#include "exp/harness.h"
 #include "trace/synthetic.h"
 #include "traffic/workload.h"
 #include "util/flags.h"
 #include "util/tableio.h"
 
-int main(int argc, char** argv) {
-  laps::Flags flags(argc, argv);
+namespace {
+
+int run(laps::Flags& flags) {
+  const auto harness = laps::parse_harness_flags(flags);
   flags.finish();
 
   std::printf("=== Table III: data-plane core configuration (modeled) ===\n");
@@ -64,5 +67,15 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << cap.to_string();
+
+  laps::write_json_artifact(harness.json_path, "table3_delay_model", {},
+                            {{"table3", &t3}, {"delay_model", &model},
+                             {"capacity", &cap}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

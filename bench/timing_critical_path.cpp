@@ -186,4 +186,12 @@ BENCHMARK(BM_FullSimulation)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace laps
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but unrecognized arguments (e.g. a typo'd
+// --benchmark_filter) exit nonzero instead of being silently ignored.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

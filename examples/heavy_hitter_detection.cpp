@@ -4,10 +4,12 @@
 // Space-Saving alternatives.
 //
 // Usage: heavy_hitter_detection [--trace=caida1] [--packets=1000000]
+//                               [--json=PATH]
 #include <cstdio>
 #include <iostream>
 
 #include "cache/afd.h"
+#include "exp/harness.h"
 #include "cache/elephant_trap.h"
 #include "cache/space_saving.h"
 #include "cache/topk.h"
@@ -15,13 +17,15 @@
 #include "util/flags.h"
 #include "util/tableio.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(laps::Flags& flags) {
   using namespace laps;
 
-  Flags flags(argc, argv);
   const std::string trace_name = flags.get_string("trace", "caida1");
   const auto packets =
       static_cast<std::uint64_t>(flags.get_int("packets", 1'000'000));
+  const auto harness = parse_harness_flags(flags);
   flags.finish();
 
   // Paper configuration: 16-entry AFC qualified through a 512-entry annex.
@@ -99,5 +103,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.annex_hits),
               static_cast<unsigned long long>(stats.promotions),
               static_cast<unsigned long long>(stats.demotions));
+
+  write_json_artifact(harness.json_path, "heavy_hitter_detection", {},
+                      {{"detected", &detected}, {"summary", &summary}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

@@ -4,22 +4,28 @@
 // dynamically reallocates between services.
 //
 // Usage: multi_service_router [--seconds=0.25] [--seed=N] [--cores=16]
+//                             [--json=PATH]
 #include <cstdio>
 #include <iostream>
 
 #include "core/laps.h"
+#include "exp/harness.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
 #include "util/tableio.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(laps::Flags& flags) {
   using namespace laps;
 
-  Flags flags(argc, argv);
   ScenarioOptions options;
   options.seconds = flags.get_double("seconds", 0.25);
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   options.num_cores = static_cast<std::size_t>(flags.get_int("cores", 16));
+  // This example introspects the scheduler after the run (allocator state),
+  // so it stays serial; --jobs is accepted for CLI uniformity.
+  const auto harness = parse_harness_flags(flags);
   flags.finish();
 
   // Table IV Set 2 traffic (overload) over the CAIDA-like trace group: the
@@ -86,5 +92,21 @@ int main(int argc, char** argv) {
               report.cold_cache_ratio() * 100.0,
               static_cast<unsigned long long>(report.out_of_order),
               report.ooo_ratio() * 100.0);
+
+  JobResult result;
+  result.scenario = config.name;
+  result.scheduler = report.scheduler;
+  result.seed = config.seed;
+  result.report = report;
+  write_json_artifact(harness.json_path, "multi_service_router", {result},
+                      {{"services", &services},
+                       {"per_service", &per_service},
+                       {"allocation", &alloc}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

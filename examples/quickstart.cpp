@@ -3,16 +3,23 @@
 //
 //   trace -> traffic model -> scenario -> scheduler -> report
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/examples/quickstart [--json=PATH]
 #include <cstdio>
 #include <iostream>
 
 #include "core/laps.h"
+#include "exp/harness.h"
 #include "sim/runner.h"
 #include "trace/synthetic.h"
+#include "util/flags.h"
 
-int main() {
+namespace {
+
+int run(laps::Flags& flags) {
   using namespace laps;
+
+  const auto harness = parse_harness_flags(flags);
+  flags.finish();
 
   // 1. A header trace. The registry reproduces the paper's trace names;
   //    "caida1" is an OC-192-backbone-like stream (heavy-tailed flow sizes,
@@ -48,5 +55,19 @@ int main() {
               static_cast<unsigned long long>(report.offered),
               report.throughput_mpps(),
               static_cast<unsigned long long>(report.flow_migrations));
+
+  // 5. Optional machine-readable artifact (--json=PATH).
+  JobResult result;
+  result.scenario = config.name;
+  result.scheduler = report.scheduler;
+  result.seed = config.seed;
+  result.report = report;
+  write_json_artifact(harness.json_path, "quickstart", {result});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

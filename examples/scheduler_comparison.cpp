@@ -1,7 +1,10 @@
 // Compares every scheduler in the library on the same traffic — the
-// experiment of paper Fig. 7 in miniature, on one scenario.
+// experiment of paper Fig. 7 in miniature, on one scenario. Also the
+// smallest use of the parallel experiment engine: one plan, one scenario,
+// five schedulers, run on --jobs threads with identical results.
 //
 // Usage: scheduler_comparison [--scenario=T5] [--seconds=0.1] [--seed=N]
+//                             [--jobs=N] [--json=PATH]
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -11,38 +14,59 @@
 #include "baselines/oracle_topk.h"
 #include "baselines/static_hash.h"
 #include "core/laps.h"
+#include "exp/harness.h"
+#include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
 #include "util/tableio.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(laps::Flags& flags) {
   using namespace laps;
 
-  Flags flags(argc, argv);
   ScenarioOptions options;
   options.seconds = flags.get_double("seconds", 0.1);
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const std::string id = flags.get_string("scenario", "T5");
+  const auto harness = parse_harness_flags(flags);
   flags.finish();
 
-  const ScenarioConfig config = make_paper_scenario(id, options);
-  std::cout << "Scenario " << id << ": 4 services, " << config.num_cores
+  auto store = std::make_shared<TraceStore>();
+  options.trace_factory = store->factory();
+
+  std::cout << "Scenario " << id << ": 4 services, " << options.num_cores
             << " cores, " << options.seconds << " s\n\n";
 
-  std::vector<std::unique_ptr<Scheduler>> schedulers;
-  schedulers.push_back(std::make_unique<FcfsScheduler>());
-  schedulers.push_back(std::make_unique<StaticHashScheduler>());
-  schedulers.push_back(std::make_unique<AfsScheduler>());
-  schedulers.push_back(std::make_unique<OracleTopKScheduler>(16));
-  LapsConfig laps_config;
-  laps_config.num_services = kNumServices;
-  schedulers.push_back(std::make_unique<LapsScheduler>(laps_config));
+  const std::vector<SchedulerSpec> schedulers = {
+      {"FCFS", [] { return std::make_unique<FcfsScheduler>(); }},
+      {"StaticHash", [] { return std::make_unique<StaticHashScheduler>(); }},
+      {"AFS", [] { return std::make_unique<AfsScheduler>(); }},
+      {"OracleTop16", [] { return std::make_unique<OracleTopKScheduler>(16); }},
+      {"LAPS",
+       []() -> std::unique_ptr<Scheduler> {
+         LapsConfig laps_config;
+         laps_config.num_services = kNumServices;
+         return std::make_unique<LapsScheduler>(laps_config);
+       }},
+  };
+
+  ExperimentPlan plan(options.seed);
+  plan.add_grid({id}, schedulers, {options.seed},
+                [options](const std::string& scenario, std::uint64_t seed) {
+                  ScenarioOptions o = options;
+                  o.seed = seed;
+                  return make_paper_scenario(scenario, o);
+                });
+
+  ParallelRunner runner(harness.jobs);
+  const auto results = runner.run(plan);
 
   Table table({"scheduler", "drop%", "cold-cache%", "out-of-order%",
                "migrations", "p99 latency us", "throughput Mpps"});
-  for (auto& scheduler : schedulers) {
-    const SimReport r = run_scenario(config, *scheduler);
-    table.add_row({r.scheduler, Table::pct(r.drop_ratio()),
+  for (const auto& res : results) {
+    const SimReport& r = res.report;
+    table.add_row({res.scheduler, Table::pct(r.drop_ratio()),
                    Table::pct(r.cold_cache_ratio()),
                    Table::pct(r.ooo_ratio(), 4),
                    Table::num(static_cast<std::int64_t>(r.flow_migrations)),
@@ -53,5 +77,14 @@ int main(int argc, char** argv) {
             << "\nLAPS keeps I-caches warm (cold% ~ 0) by partitioning cores "
                "among services,\nand keeps packet order by migrating only "
                "AFC-resident aggressive flows.\n";
+
+  write_json_artifact(harness.json_path, "scheduler_comparison", results,
+                      {{"comparison", &table}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

@@ -4,24 +4,28 @@
 //
 // Usage: trace_inspect [--trace=auck1] [--packets=50000] [--out=/tmp/x.pcap]
 //        trace_inspect --pcap=/path/to/capture.pcap   (inspect a real file)
+//        trace_inspect [--json=PATH]
 #include <cstdio>
 #include <iostream>
 
+#include "exp/harness.h"
 #include "trace/flow_stats.h"
 #include "trace/pcap_io.h"
 #include "trace/synthetic.h"
 #include "util/flags.h"
 #include "util/tableio.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(laps::Flags& flags) {
   using namespace laps;
 
-  Flags flags(argc, argv);
   const std::string pcap_in = flags.get_string("pcap", "");
   const std::string trace_name = flags.get_string("trace", "auck1");
   const auto packets =
       static_cast<std::uint64_t>(flags.get_int("packets", 50'000));
   const std::string out = flags.get_string("out", "/tmp/laps_trace.pcap");
+  const auto harness = parse_harness_flags(flags);
   flags.finish();
 
   std::string path = pcap_in;
@@ -65,5 +69,14 @@ int main(int argc, char** argv) {
   std::printf("\nTop 16 flows carry %s of the packets — the skew that "
               "drives the paper's load-balancing problem.\n",
               Table::pct(stats.top_share(16)).c_str());
+
+  write_json_artifact(harness.json_path, "trace_inspect", {},
+                      {{"top_flows", &top}});
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return laps::guarded_main(argc, argv, run);
 }

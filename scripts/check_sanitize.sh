@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Builds the ASan+UBSan configuration and runs the full test suite under it.
+# Any sanitizer report aborts the offending test (-fno-sanitize-recover=all),
+# so a green run means the suite is clean of UB and memory errors.
+#
+# Usage: scripts/check_sanitize.sh [ctest-args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan "$@"

@@ -1,0 +1,121 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace laps {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t ExperimentPlan::derive_seed(std::uint64_t plan_seed,
+                                          std::uint64_t stream) {
+  // Same construction as Rng::stream: SplitMix64 over decorrelated inputs.
+  return mix64(mix64(plan_seed) ^ mix64(stream + 0x9E3779B97F4A7C15ULL));
+}
+
+std::vector<std::uint64_t> ExperimentPlan::replicate_seeds(
+    std::size_t n) const {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seeds.push_back(derive_seed(plan_seed_, i));
+  }
+  return seeds;
+}
+
+void ExperimentPlan::add(std::string scenario, std::string scheduler,
+                         std::uint64_t seed, std::function<SimReport()> run) {
+  if (!run) throw std::invalid_argument("ExperimentPlan::add: null job");
+  jobs_.push_back(ExperimentJob{std::move(scenario), std::move(scheduler),
+                                seed, std::move(run)});
+}
+
+void ExperimentPlan::add_grid(const std::vector<std::string>& scenarios,
+                              const std::vector<SchedulerSpec>& schedulers,
+                              const std::vector<std::uint64_t>& seeds,
+                              ScenarioBuilder build) {
+  if (!build) throw std::invalid_argument("add_grid: null scenario builder");
+  for (const SchedulerSpec& spec : schedulers) {
+    if (!spec.make) {
+      throw std::invalid_argument("add_grid: scheduler '" + spec.name +
+                                  "' has no factory");
+    }
+  }
+  for (const std::string& scenario : scenarios) {
+    for (const SchedulerSpec& spec : schedulers) {
+      for (std::uint64_t seed : seeds) {
+        // Capture by value: the closure must be self-contained so it can run
+        // on any worker thread after this frame is gone.
+        auto make = spec.make;
+        add(scenario, spec.name, seed,
+            [scenario, make, seed, build]() -> SimReport {
+              const ScenarioConfig cfg = build(scenario, seed);
+              auto scheduler = make();
+              return run_scenario(cfg, *scheduler);
+            });
+      }
+    }
+  }
+}
+
+ParallelRunner::ParallelRunner(std::size_t jobs)
+    : jobs_(ThreadPool::resolve(jobs)) {}
+
+std::vector<JobResult> ParallelRunner::run(const ExperimentPlan& plan) {
+  stats_ = RunnerStats{};
+  stats_.jobs_used = plan.size() <= 1 ? std::min<std::size_t>(1, plan.size())
+                                      : std::min(jobs_, plan.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> done{0};
+  const std::size_t total = plan.size();
+
+  std::vector<JobResult> results = parallel_index_map(
+      jobs_, total, [&](std::size_t i) -> JobResult {
+        const ExperimentJob& job = plan.jobs()[i];
+        JobResult out;
+        out.index = i;
+        out.scenario = job.scenario;
+        out.scheduler = job.scheduler;
+        out.seed = job.seed;
+        const auto j0 = std::chrono::steady_clock::now();
+        out.report = job.run();
+        out.wall_seconds = seconds_since(j0);
+        // Normalize labels so artifacts key on the plan's names even when a
+        // scheduler self-reports differently (e.g. parameterized variants).
+        out.report.scenario = job.scenario;
+        out.report.scheduler = job.scheduler;
+        const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::fprintf(stderr, "[%zu/%zu] %s/%s seed=%llu (%.2fs)\n", n, total,
+                     job.scenario.c_str(), job.scheduler.c_str(),
+                     static_cast<unsigned long long>(job.seed),
+                     out.wall_seconds);
+        return out;
+      });
+
+  stats_.wall_seconds = seconds_since(t0);
+  for (const JobResult& r : results) stats_.job_seconds += r.wall_seconds;
+  if (total > 1) {
+    std::fprintf(stderr,
+                 "ran %zu jobs on %zu thread(s): %.2fs wall, %.2fs cpu "
+                 "(speedup %.2fx)\n",
+                 total, stats_.jobs_used, stats_.wall_seconds,
+                 stats_.job_seconds, stats_.speedup());
+  }
+  return results;
+}
+
+}  // namespace laps

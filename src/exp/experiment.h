@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+
+namespace laps {
+
+/// A named scheduler recipe. The factory is called once per job, on the
+/// worker thread, so each job owns a fresh scheduler instance — schedulers
+/// are stateful and must never be shared across concurrent runs.
+struct SchedulerSpec {
+  std::string name;
+  std::function<std::unique_ptr<Scheduler>()> make;
+};
+
+/// One independent unit of work: build config + scheduler, run, report.
+struct ExperimentJob {
+  std::string scenario;
+  std::string scheduler;
+  std::uint64_t seed = 0;
+  std::function<SimReport()> run;
+};
+
+/// Result of one job, in plan order.
+struct JobResult {
+  std::size_t index = 0;
+  std::string scenario;
+  std::string scheduler;
+  std::uint64_t seed = 0;
+  SimReport report;
+  double wall_seconds = 0.0;  ///< per-job wall clock (not in JSON artifacts)
+};
+
+/// An ordered list of independent simulation jobs.
+///
+/// The plan, not the runner, owns randomness: every job's seed is derived
+/// deterministically from `plan_seed` and the job's position in the grid, so
+/// results depend only on the plan — never on thread count or completion
+/// order.
+class ExperimentPlan {
+ public:
+  explicit ExperimentPlan(std::uint64_t plan_seed = 2013)
+      : plan_seed_(plan_seed) {}
+
+  std::uint64_t plan_seed() const { return plan_seed_; }
+
+  /// Independent seed for sub-stream `stream` of `plan_seed`.
+  static std::uint64_t derive_seed(std::uint64_t plan_seed,
+                                   std::uint64_t stream);
+
+  /// `n` replication seeds: derive_seed(plan_seed, 0..n-1).
+  std::vector<std::uint64_t> replicate_seeds(std::size_t n) const;
+
+  /// Adds one job. `run` must be self-contained (capture by value) and
+  /// callable from any thread.
+  void add(std::string scenario, std::string scheduler, std::uint64_t seed,
+           std::function<SimReport()> run);
+
+  /// Builds `scenario_id` into a ScenarioConfig for one (seed) replication.
+  using ScenarioBuilder =
+      std::function<ScenarioConfig(const std::string& scenario_id,
+                                   std::uint64_t seed)>;
+
+  /// Expands the full scenario x scheduler x seed grid, scenario-major (the
+  /// traversal order of the serial bench loops, so tables read the same).
+  /// Each job builds its own config and scheduler at run time.
+  void add_grid(const std::vector<std::string>& scenarios,
+                const std::vector<SchedulerSpec>& schedulers,
+                const std::vector<std::uint64_t>& seeds,
+                ScenarioBuilder build);
+
+  const std::vector<ExperimentJob>& jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+ private:
+  std::uint64_t plan_seed_;
+  std::vector<ExperimentJob> jobs_;
+};
+
+/// Aggregate timing of one runner invocation (stderr-only; never part of
+/// JSON artifacts, which must be byte-identical across --jobs values).
+struct RunnerStats {
+  double wall_seconds = 0.0;  ///< end-to-end wall clock of run()
+  double job_seconds = 0.0;   ///< sum of per-job wall clocks
+  std::size_t jobs_used = 0;  ///< worker threads actually used
+  double speedup() const {
+    return wall_seconds > 0 ? job_seconds / wall_seconds : 0.0;
+  }
+};
+
+/// Executes a plan on a work-stealing thread pool and returns results in
+/// plan order.
+///
+/// Determinism contract: for a fixed plan, the returned reports are
+/// identical whatever `jobs` is — each job is a self-contained closure with
+/// its own config, scheduler, and derived seed; nothing about scheduling
+/// order can leak into a SimReport. Only RunnerStats and per-job wall
+/// clocks vary across thread counts.
+class ParallelRunner {
+ public:
+  /// `jobs` = worker threads; 0 = hardware concurrency; 1 = run inline.
+  explicit ParallelRunner(std::size_t jobs = 1);
+
+  /// Runs every job; reports progress on stderr as jobs finish.
+  std::vector<JobResult> run(const ExperimentPlan& plan);
+
+  const RunnerStats& stats() const { return stats_; }
+  std::size_t jobs() const { return jobs_; }
+
+ private:
+  std::size_t jobs_;
+  RunnerStats stats_;
+};
+
+}  // namespace laps

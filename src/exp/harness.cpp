@@ -1,0 +1,98 @@
+#include "exp/harness.h"
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <stdexcept>
+
+#include "sim/report_json.h"
+#include "util/thread_pool.h"
+
+namespace laps {
+
+HarnessOptions parse_harness_flags(Flags& flags) {
+  HarnessOptions opts;
+  const std::int64_t jobs = flags.get_int("jobs", 1);
+  if (jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
+  opts.jobs = ThreadPool::resolve(static_cast<std::size_t>(jobs));
+  opts.json_path = flags.get_string("json", "");
+  return opts;
+}
+
+int guarded_main(int argc, char** argv, int (*body)(Flags&)) {
+  const char* program = argc > 0 ? argv[0] : "laps";
+  try {
+    Flags flags(argc, argv);
+    return body(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", program, e.what());
+    return 1;
+  }
+}
+
+std::string artifact_json(const std::string& tool,
+                          const std::vector<JobResult>& results,
+                          const std::vector<ArtifactTable>& tables) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "laps-bench-v1");
+  w.field("tool", tool);
+  w.key("reports");
+  w.begin_array();
+  for (const JobResult& r : results) {
+    w.begin_object();
+    w.field("scenario", r.scenario);
+    w.field("scheduler", r.scheduler);
+    w.field("seed", r.seed);
+    w.key("report");
+    write_report_json(w, r.report);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("tables");
+  w.begin_array();
+  for (const ArtifactTable& t : tables) {
+    if (t.table == nullptr) {
+      throw std::invalid_argument("artifact_json: null table '" + t.title +
+                                  "'");
+    }
+    w.begin_object();
+    w.field("title", t.title);
+    w.key("headers");
+    w.begin_array();
+    for (const std::string& h : t.table->headers()) w.value(h);
+    w.end_array();
+    w.key("rows");
+    w.begin_array();
+    for (const auto& row : t.table->data()) {
+      w.begin_array();
+      for (const std::string& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+void write_json_artifact(const std::string& path, const std::string& tool,
+                         const std::vector<JobResult>& results,
+                         const std::vector<ArtifactTable>& tables) {
+  if (path.empty()) return;
+  const std::string doc = artifact_json(tool, results, tables);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open JSON artifact path: " + path);
+  }
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("failed writing JSON artifact: " + path);
+  }
+  std::fprintf(stderr, "wrote JSON artifact: %s (%zu bytes)\n", path.c_str(),
+               doc.size());
+}
+
+}  // namespace laps

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "util/flags.h"
+#include "util/json_writer.h"
+#include "util/tableio.h"
+
+namespace laps {
+
+/// Common experiment-binary options parsed from the shared flags.
+struct HarnessOptions {
+  std::size_t jobs = 1;   ///< worker threads (0 was resolved to h/w conc.)
+  std::string json_path;  ///< empty = no JSON artifact
+};
+
+/// Consumes the flags every experiment binary shares:
+///   --jobs=N   worker threads (default 1; 0 = hardware concurrency)
+///   --json=P   write a laps-bench-v1 JSON artifact to path P
+/// Call before flags.finish().
+HarnessOptions parse_harness_flags(Flags& flags);
+
+/// Runs `body`, converting exceptions (unknown flags, bad arguments, failed
+/// calibration) into an error on stderr and a nonzero exit code instead of
+/// std::terminate. Every bench/example main() delegates here.
+int guarded_main(int argc, char** argv, int (*body)(Flags&));
+
+/// A titled table included in a JSON artifact.
+struct ArtifactTable {
+  std::string title;
+  const Table* table = nullptr;
+};
+
+/// Serializes results + tables as a `laps-bench-v1` artifact:
+///   {"schema":"laps-bench-v1","tool":...,"reports":[{scenario, scheduler,
+///    seed, report:{...}}],"tables":[{title, headers, rows}]}
+/// Contains only simulation results — no wall clocks, host info, or thread
+/// counts — so the bytes are identical for any --jobs value.
+std::string artifact_json(const std::string& tool,
+                          const std::vector<JobResult>& results,
+                          const std::vector<ArtifactTable>& tables = {});
+
+/// Writes `artifact_json(...)` to `path` (no-op when `path` is empty).
+/// Throws std::runtime_error if the file cannot be written.
+void write_json_artifact(const std::string& path, const std::string& tool,
+                         const std::vector<JobResult>& results,
+                         const std::vector<ArtifactTable>& tables = {});
+
+}  // namespace laps

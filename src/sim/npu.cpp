@@ -83,6 +83,8 @@ SimReport Npu::run(PacketGenerator& generator, const std::string& scenario) {
             ? to_us(rob_.total_held_ns()) /
                   static_cast<double>(rob_.buffered_total())
             : 0.0;
+    report.extra["rob_released_packets"] =
+        static_cast<double>(rob_.released_total());
     report.extra["rob_stranded_packets"] =
         static_cast<double>(rob_.occupancy());
   }

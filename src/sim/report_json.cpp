@@ -1,0 +1,68 @@
+#include "sim/report_json.h"
+
+namespace laps {
+
+namespace {
+
+void write_service_array(JsonWriter& w, const char* name,
+                         const std::array<std::uint64_t, kNumServices>& a) {
+  w.key(name);
+  w.begin_array();
+  for (const std::uint64_t v : a) w.value(v);
+  w.end_array();
+}
+
+}  // namespace
+
+void write_report_json(JsonWriter& w, const SimReport& r) {
+  w.begin_object();
+  w.field("scenario", r.scenario);
+  w.field("scheduler", r.scheduler);
+  w.field("sim_time_ns", static_cast<std::int64_t>(r.sim_time));
+
+  w.field("offered", r.offered);
+  write_service_array(w, "offered_by_service", r.offered_by_service);
+  w.field("dropped", r.dropped);
+  write_service_array(w, "dropped_by_service", r.dropped_by_service);
+  w.field("delivered", r.delivered);
+  w.field("in_flight_at_end", r.in_flight_at_end);
+
+  w.field("out_of_order", r.out_of_order);
+  w.field("flow_migrations", r.flow_migrations);
+  w.field("fm_penalties", r.fm_penalties);
+  w.field("cold_cache_events", r.cold_cache_events);
+
+  w.field("drop_ratio", r.drop_ratio());
+  w.field("ooo_ratio", r.ooo_ratio());
+  w.field("cold_cache_ratio", r.cold_cache_ratio());
+  w.field("throughput_mpps", r.throughput_mpps());
+  w.field("mean_core_utilization", r.mean_core_utilization);
+
+  w.key("latency_ns");
+  w.begin_object();
+  w.field("count", r.latency_ns.count());
+  w.field("sum", static_cast<std::int64_t>(r.latency_ns.sum()));
+  w.field("mean", r.latency_ns.mean());
+  w.field("max", static_cast<std::int64_t>(r.latency_ns.max()));
+  w.field("p50", static_cast<std::int64_t>(r.latency_ns.quantile(0.50)));
+  w.field("p90", static_cast<std::int64_t>(r.latency_ns.quantile(0.90)));
+  w.field("p99", static_cast<std::int64_t>(r.latency_ns.quantile(0.99)));
+  w.field("p999", static_cast<std::int64_t>(r.latency_ns.quantile(0.999)));
+  w.end_object();
+
+  w.key("extra");
+  w.begin_object();
+  for (const auto& [key, value] : r.extra) {  // std::map: sorted, stable
+    w.field(key, value);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string report_to_json(const SimReport& report) {
+  JsonWriter w;
+  write_report_json(w, report);
+  return w.str();
+}
+
+}  // namespace laps

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "sim/report.h"
+#include "util/json_writer.h"
+
+namespace laps {
+
+/// Serializes `report` as one JSON object into an open writer (caller wraps
+/// it in an array/document). Field order is fixed and every map is iterated
+/// in sorted order, so serialization is byte-deterministic: two reports with
+/// identical contents always produce identical bytes — the property the
+/// parallel-engine determinism suite asserts on whole artifacts.
+///
+/// The object contains only simulation results (no wall-clock, host, or
+/// thread-count information), so artifacts are comparable across machines
+/// and across `--jobs` values.
+void write_report_json(JsonWriter& writer, const SimReport& report);
+
+/// `report` as a standalone pretty-printed JSON document.
+std::string report_to_json(const SimReport& report);
+
+}  // namespace laps

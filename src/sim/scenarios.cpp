@@ -7,6 +7,16 @@
 
 namespace laps {
 
+namespace {
+
+std::shared_ptr<TraceSource> open_trace(const ScenarioOptions& options,
+                                        const std::string& name) {
+  return options.trace_factory ? options.trace_factory(name)
+                               : make_trace(name);
+}
+
+}  // namespace
+
 std::vector<std::string> table5_group(int group) {
   switch (group) {
     case 1: return {"caida1", "caida2", "caida3", "caida4"};
@@ -46,7 +56,7 @@ ScenarioConfig make_paper_scenario(const std::string& id,
     ServiceTraffic traffic;
     traffic.path = static_cast<ServicePath>(s);
     traffic.rate = params[s];
-    traffic.trace = make_trace(traces[s]);
+    traffic.trace = open_trace(options, traces[s]);
     cfg.services.push_back(std::move(traffic));
   }
   const double target = set == 1 ? options.load_set1 : options.load_set2;
@@ -69,7 +79,7 @@ ScenarioConfig make_single_service_scenario(const std::string& trace,
   // Flat rate: Fig. 9 pins the input "slightly more than 100% of what this
   // configuration can achieve under ideal conditions".
   traffic.rate = HoltWintersParams{1.0, 0.0, 0.0, 60.0, 0.0};
-  traffic.trace = make_trace(trace);
+  traffic.trace = open_trace(options, trace);
   cfg.services = {std::move(traffic)};
   cfg.services = scale_to_load(cfg.services, cfg.delay, cfg.num_cores,
                                cfg.seconds, load);

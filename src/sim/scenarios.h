@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/runner.h"
+#include "trace/packet_record.h"
 
 namespace laps {
 
@@ -13,6 +16,12 @@ struct ScenarioOptions {
   double seconds = 1.0;     ///< simulated horizon (paper: 60 s)
   std::uint64_t seed = 42;
   std::size_t num_cores = 16;
+  /// Optional override for how trace names become TraceSources; defaults to
+  /// `make_trace(name)`. The parallel experiment engine installs a
+  /// TraceStore factory here so concurrent jobs share one immutable
+  /// materialization of each trace instead of regenerating it per job.
+  std::function<std::shared_ptr<TraceSource>(const std::string&)>
+      trace_factory;
   /// Calibrated mean offered load for Table IV Set 1 ("under-load": the
   /// aggregate rate is less than the ideal capacity of 16 cores").
   double load_set1 = 0.85;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "util/flow.h"
 
@@ -40,6 +41,18 @@ class TraceSource {
   /// Upper bound on the number of distinct flow_ids this source can emit,
   /// used to size per-flow arrays. 0 = unknown.
   virtual std::size_t flow_count_hint() const { return 0; }
+
+  /// Packet-size mix of this source (for offered-load calibration against
+  /// Eqs. 4-5 processing times). Returns false when the source does not
+  /// know its mix; callers fall back to the default trimodal internet mix.
+  /// Wrapper sources (e.g. the experiment engine's shared-trace cursors)
+  /// forward this so calibration sees through them.
+  virtual bool size_mix(std::vector<std::uint16_t>& sizes,
+                        std::vector<double>& weights) const {
+    (void)sizes;
+    (void)weights;
+    return false;
+  }
 
   /// Trace name for reports ("caida1", "auck3", a pcap path, ...).
   virtual std::string name() const = 0;

@@ -72,6 +72,12 @@ class SyntheticTrace final : public TraceSource {
     return spec_.churn_per_packet > 0.0 ? 0 : spec_.num_flows;
   }
   std::string name() const override { return spec_.name; }
+  bool size_mix(std::vector<std::uint16_t>& sizes,
+                std::vector<double>& weights) const override {
+    sizes = spec_.size_bytes;
+    weights = spec_.size_weights;
+    return true;
+  }
 
   const SyntheticTraceSpec& spec() const { return spec_; }
 

@@ -111,11 +111,7 @@ namespace {
 /// anything else gets the default internet mix.
 void size_mix_of(const TraceSource* trace, std::vector<std::uint16_t>& sizes,
                  std::vector<double>& weights) {
-  if (const auto* synth = dynamic_cast<const SyntheticTrace*>(trace)) {
-    sizes = synth->spec().size_bytes;
-    weights = synth->spec().size_weights;
-    return;
-  }
+  if (trace != nullptr && trace->size_mix(sizes, weights)) return;
   sizes = SyntheticTraceSpec{}.size_bytes;
   weights = SyntheticTraceSpec{}.size_weights;
 }

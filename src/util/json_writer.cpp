@@ -1,0 +1,131 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace laps {
+
+std::string JsonWriter::quote(const std::string& v) {
+  std::string out;
+  out.reserve(v.size() + 2);
+  out += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value follows "key": directly
+  }
+  if (stack_.empty()) return;  // document root
+  if (!first_in_frame_) out_ += ',';
+  out_ += '\n';
+  indent();
+  first_in_frame_ = false;
+}
+
+void JsonWriter::begin_object() {
+  prefix();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  first_in_frame_ = true;
+}
+
+void JsonWriter::end_object() {
+  stack_.pop_back();
+  if (!first_in_frame_) {
+    out_ += '\n';
+    indent();
+  }
+  out_ += '}';
+  first_in_frame_ = false;
+}
+
+void JsonWriter::begin_array() {
+  prefix();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  first_in_frame_ = true;
+}
+
+void JsonWriter::end_array() {
+  stack_.pop_back();
+  if (!first_in_frame_) {
+    out_ += '\n';
+    indent();
+  }
+  out_ += ']';
+  first_in_frame_ = false;
+}
+
+void JsonWriter::key(const std::string& name) {
+  prefix();
+  out_ += quote(name);
+  out_ += ": ";
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  prefix();
+  out_ += quote(v);
+}
+
+void JsonWriter::value(bool v) {
+  prefix();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(std::int64_t v) {
+  prefix();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  prefix();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(double v) {
+  prefix();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out_ += buf;
+  // Bare integers stay valid JSON numbers; no decoration needed.
+}
+
+}  // namespace laps

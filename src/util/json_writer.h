@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laps {
+
+/// Minimal deterministic JSON emitter for bench artifacts.
+///
+/// Output is byte-stable for identical input: keys are written in call
+/// order (callers iterate sorted containers), doubles use a fixed shortest
+/// round-trip format, and indentation is fixed two-space. That stability is
+/// what lets the determinism suite compare whole artifacts with memcmp.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("offered"); w.value(std::uint64_t{42});
+///   w.end_object();
+///   w.str();  // {\n  "offered": 42\n}
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.reserve(8); }
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value or container.
+  void key(const std::string& name);
+
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+  void value(bool v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(double v);
+  // Disambiguate common integer types.
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+  /// key + value in one call.
+  template <class T>
+  void field(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// The document so far. Valid once every container is closed.
+  const std::string& str() const { return out_; }
+
+  /// Escapes `v` as a JSON string literal (with quotes).
+  static std::string quote(const std::string& v);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void prefix();  ///< comma/newline/indent before a key or array element
+  void indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool first_in_frame_ = true;
+  bool after_key_ = false;
+};
+
+}  // namespace laps

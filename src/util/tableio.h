@@ -24,6 +24,12 @@ class Table {
   /// Number of data rows.
   std::size_t rows() const { return rows_.size(); }
 
+  /// Column headers (for structured export, e.g. JSON artifacts).
+  const std::vector<std::string>& headers() const { return headers_; }
+
+  /// Raw row cells in insertion order.
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
   /// Renders as an aligned ASCII table with a header separator.
   std::string to_string() const;
 

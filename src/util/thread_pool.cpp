@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+namespace laps {
+
+std::size_t ThreadPool::resolve(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = resolve(threads);
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // The lock orders the flag store against workers re-checking their wait
+    // predicate, so no worker can sleep through the shutdown notify.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  const std::size_t target =
+      next_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t worker, std::function<void()>& out) {
+  const std::size_t n = queues_.size();
+  // Own queue first (front = submission order), then steal from the back of
+  // the others, scanning from the next neighbour to spread contention.
+  for (std::size_t k = 0; k < n; ++k) {
+    WorkerQueue& q = *queues_[(worker + k) % n];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) continue;
+    if (k == 0) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    } else {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(index, task)) {
+      task();           // packaged_task captures any exception
+      task = nullptr;   // release captured state before sleeping
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_.wait(lock, [this] {
+      return queued_.load(std::memory_order_acquire) > 0 ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    // On shutdown keep draining until every queue is empty: the destructor
+    // guarantees all submitted work runs.
+    if (stopping_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace laps

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace laps {
+
+/// Work-stealing thread pool for the experiment engine.
+///
+/// Each worker owns a deque; `submit` distributes tasks round-robin, workers
+/// pop from the front of their own deque and steal from the back of their
+/// neighbours' when empty. Exceptions thrown by a task are captured into the
+/// future returned by `submit` (the worker thread never terminates on a task
+/// exception). The destructor completes every task submitted so far before
+/// joining — shutdown never abandons queued work.
+///
+/// The pool executes tasks; *determinism* of parallel experiments is the
+/// caller's job (ParallelRunner collects results in submission order and
+/// gives each job an independent seed, so no result ever depends on
+/// scheduling order).
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Resolves a user-facing `--jobs` value: 0 -> hardware concurrency
+  /// (minimum 1), anything else unchanged.
+  static std::size_t resolve(std::size_t jobs);
+
+  /// Schedules `fn` and returns a future for its result. Thread-safe.
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  bool try_pop(std::size_t worker, std::function<void()>& out);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> queued_{0};  ///< submitted, not yet started
+  std::atomic<std::size_t> next_{0};    ///< round-robin submission cursor
+  std::atomic<bool> stopping_{false};
+};
+
+/// Runs `fn(0) .. fn(n-1)` on up to `jobs` workers and returns the results
+/// in index order — the order (and therefore any downstream output) is
+/// independent of how the work interleaved. `jobs <= 1` runs inline with no
+/// pool. `fn` must be safe to call concurrently for distinct indices.
+template <class Fn>
+auto parallel_index_map(std::size_t jobs, std::size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(!std::is_void_v<R>, "parallel_index_map needs a result type");
+  std::vector<R> out;
+  out.reserve(n);
+  jobs = ThreadPool::resolve(jobs);
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back(fn(i));
+    return out;
+  }
+  ThreadPool pool(jobs);
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+  }
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace laps

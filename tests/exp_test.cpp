@@ -1,0 +1,454 @@
+// Tests for the parallel experiment engine: the thread pool, the shared
+// trace store, plan/runner determinism (the bit-identical-across---jobs
+// contract), JSON serialization, and the shared CLI harness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/fcfs.h"
+#include "baselines/static_hash.h"
+#include "exp/experiment.h"
+#include "exp/harness.h"
+#include "exp/trace_store.h"
+#include "sim/report_json.h"
+#include "sim/runner.h"
+#include "trace/synthetic.h"
+#include "util/flags.h"
+#include "util/json_writer.h"
+#include "util/thread_pool.h"
+
+namespace laps {
+namespace {
+
+// ------------------------------------------------------------- ThreadPool ---
+
+TEST(ThreadPool, DestructorDrainsEveryQueuedTask) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 1000; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destruction races with execution: shutdown must still run all 1000.
+  }
+  EXPECT_EQ(done.load(), 1000);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 21 * 2; });
+  auto bad = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_EQ(ok.get(), 42);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker survives a throwing task and keeps executing.
+  auto after = pool.submit([] { return 7; });
+  EXPECT_EQ(after.get(), 7);
+}
+
+TEST(ThreadPool, ResolveMapsZeroToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve(3), 3u);
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyProducersOneResultEach) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ParallelIndexMap, ResultsInIndexOrderRegardlessOfJobs) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    const auto out = parallel_index_map(
+        jobs, 100, [](std::size_t i) { return static_cast<int>(i) * 3; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+    }
+  }
+}
+
+TEST(ParallelIndexMap, ZeroItemsYieldsEmpty) {
+  const auto out =
+      parallel_index_map(4, 0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+// ------------------------------------------------------------- TraceStore ---
+
+TEST(TraceStore, CursorReplaysExactlyTheDirectTrace) {
+  TraceStore store;
+  auto cursor = store.open("auck1");
+  auto direct = make_trace("auck1");
+  for (int i = 0; i < 5'000; ++i) {
+    const auto a = cursor->next();
+    const auto b = direct->next();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    ASSERT_EQ(a->tuple.key64(), b->tuple.key64()) << "record " << i;
+    ASSERT_EQ(a->flow_id, b->flow_id);
+    ASSERT_EQ(a->size_bytes, b->size_bytes);
+  }
+}
+
+TEST(TraceStore, ResetReplaysIdentically) {
+  TraceStore store;
+  auto cursor = store.open("auck1");
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 1'000; ++i) first.push_back(cursor->next()->tuple.key64());
+  cursor->reset();
+  for (int i = 0; i < 1'000; ++i) {
+    ASSERT_EQ(cursor->next()->tuple.key64(), first[i]) << "record " << i;
+  }
+}
+
+TEST(TraceStore, TwoCursorsShareOneMaterialization) {
+  TraceStore store;
+  auto a = store.open("auck2");
+  auto b = store.open("auck2");
+  // Interleave reads at different paces; both see the same stream.
+  std::vector<std::uint64_t> seen_a, seen_b;
+  for (int i = 0; i < 300; ++i) seen_a.push_back(a->next()->tuple.key64());
+  for (int i = 0; i < 900; ++i) seen_b.push_back(b->next()->tuple.key64());
+  for (int i = 0; i < 600; ++i) seen_a.push_back(a->next()->tuple.key64());
+  ASSERT_EQ(seen_a.size(), 900u);
+  EXPECT_EQ(seen_a, seen_b);
+  // Materialized once, to the farthest position, not per cursor.
+  EXPECT_EQ(store.materialized("auck2"), 900u);
+}
+
+TEST(TraceStore, OverflowFallsBackToPrivateReplaySeamlessly) {
+  // A 256-record sharing budget forces the cursor into private-overflow
+  // mode; the stream must still match the direct trace bit for bit.
+  TraceStore store(/*max_shared_records=*/256);
+  auto cursor = store.open("caida1");
+  auto direct = make_trace("caida1");
+  for (int i = 0; i < 2'000; ++i) {
+    ASSERT_EQ(cursor->next()->tuple.key64(), direct->next()->tuple.key64())
+        << "record " << i << " (overflow boundary at 256)";
+  }
+  EXPECT_EQ(store.materialized("caida1"), 256u);
+  // Reset drops the overflow source and replays the shared prefix again.
+  cursor->reset();
+  auto direct2 = make_trace("caida1");
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(cursor->next()->tuple.key64(), direct2->next()->tuple.key64());
+  }
+}
+
+TEST(TraceStore, ForwardsMetadataThroughCursor) {
+  TraceStore store;
+  auto cursor = store.open("auck1");
+  auto direct = make_trace("auck1");
+  EXPECT_EQ(cursor->name(), direct->name());
+  EXPECT_EQ(cursor->flow_count_hint(), direct->flow_count_hint());
+  std::vector<std::uint16_t> sa, sb;
+  std::vector<double> wa, wb;
+  EXPECT_TRUE(cursor->size_mix(sa, wa));
+  EXPECT_TRUE(direct->size_mix(sb, wb));
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST(TraceStore, RegisteredTraceEndsAtEof) {
+  TraceStore store;
+  class FiniteSource final : public TraceSource {
+   public:
+    std::optional<PacketRecord> next() override {
+      if (pos_ >= 40) return std::nullopt;
+      PacketRecord rec;
+      rec.flow_id = pos_++;
+      return rec;
+    }
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return "finite40"; }
+
+   private:
+    std::uint32_t pos_ = 0;
+  };
+  store.register_trace("finite40", [] { return std::make_shared<FiniteSource>(); });
+  auto cursor = store.open("finite40");
+  int n = 0;
+  while (cursor->next()) ++n;
+  EXPECT_EQ(n, 40);
+  EXPECT_FALSE(cursor->next().has_value()) << "EOF is sticky";
+  cursor->reset();
+  n = 0;
+  while (cursor->next()) ++n;
+  EXPECT_EQ(n, 40);
+}
+
+TEST(TraceStore, ConcurrentCursorsSeeOneConsistentStream) {
+  TraceStore store;
+  constexpr int kRecords = 20'000;
+  std::vector<std::vector<std::uint64_t>> streams(4);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&store, &streams, t] {
+        auto cursor = store.open("auck3");
+        for (int i = 0; i < kRecords; ++i) {
+          streams[t].push_back(cursor->next()->tuple.key64());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (int t = 1; t < 4; ++t) {
+    ASSERT_EQ(streams[t], streams[0]) << "cursor " << t << " diverged";
+  }
+}
+
+TEST(TraceStore, UnknownTraceNameThrows) {
+  TraceStore store;
+  EXPECT_THROW(store.open("no_such_trace"), std::out_of_range);
+}
+
+// ------------------------------------------------------- plan and runner ---
+
+ScenarioConfig tiny_config(const std::string& name, std::uint64_t seed,
+                           std::shared_ptr<TraceSource> trace) {
+  ScenarioConfig cfg;
+  cfg.name = name;
+  cfg.num_cores = 2;
+  cfg.seconds = 0.004;
+  cfg.seed = seed;
+  ServiceTraffic s;
+  s.path = ServicePath::kIpForward;
+  s.rate = HoltWintersParams{2.0, 0.0, 0.0, 10.0, 0.0};
+  s.trace = std::move(trace);
+  cfg.services = {s};
+  return cfg;
+}
+
+ExperimentPlan tiny_plan(std::shared_ptr<TraceStore> store,
+                         std::uint64_t plan_seed = 7) {
+  const std::vector<SchedulerSpec> schedulers = {
+      {"FCFS", [] { return std::make_unique<FcfsScheduler>(); }},
+      {"StaticHash", [] { return std::make_unique<StaticHashScheduler>(); }},
+  };
+  ExperimentPlan plan(plan_seed);
+  plan.add_grid({"auck1", "auck2"}, schedulers, plan.replicate_seeds(2),
+                [store](const std::string& trace, std::uint64_t seed) {
+                  return tiny_config(trace, seed, store->open(trace));
+                });
+  return plan;
+}
+
+TEST(ExperimentPlan, DeriveSeedIsDeterministicAndSpread) {
+  EXPECT_EQ(ExperimentPlan::derive_seed(1, 0), ExperimentPlan::derive_seed(1, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    seeds.insert(ExperimentPlan::derive_seed(42, s));
+  }
+  EXPECT_EQ(seeds.size(), 64u) << "streams must not collide";
+  EXPECT_NE(ExperimentPlan::derive_seed(1, 0), ExperimentPlan::derive_seed(2, 0));
+}
+
+TEST(ExperimentPlan, GridExpandsScenarioMajor) {
+  auto store = std::make_shared<TraceStore>();
+  const auto plan = tiny_plan(store);
+  ASSERT_EQ(plan.size(), 8u);  // 2 traces x 2 schedulers x 2 seeds
+  EXPECT_EQ(plan.jobs()[0].scenario, "auck1");
+  EXPECT_EQ(plan.jobs()[0].scheduler, "FCFS");
+  EXPECT_EQ(plan.jobs()[1].scheduler, "FCFS");
+  EXPECT_NE(plan.jobs()[0].seed, plan.jobs()[1].seed);
+  EXPECT_EQ(plan.jobs()[2].scheduler, "StaticHash");
+  EXPECT_EQ(plan.jobs()[4].scenario, "auck2");
+}
+
+TEST(ExperimentPlan, RejectsNullJobAndBuilder) {
+  ExperimentPlan plan;
+  EXPECT_THROW(plan.add("s", "x", 0, nullptr), std::invalid_argument);
+  EXPECT_THROW(plan.add_grid({"a"}, {{"x", nullptr}}, {1},
+                             [](const std::string&, std::uint64_t) {
+                               return ScenarioConfig{};
+                             }),
+               std::invalid_argument);
+}
+
+TEST(ParallelRunner, EmptyPlanYieldsEmptyResults) {
+  ExperimentPlan plan;
+  ParallelRunner runner(4);
+  const auto results = runner.run(plan);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(runner.stats().jobs_used, 0u);
+}
+
+TEST(ParallelRunner, ResultsInPlanOrderWithPlanLabels) {
+  auto store = std::make_shared<TraceStore>();
+  const auto plan = tiny_plan(store);
+  ParallelRunner runner(4);
+  const auto results = runner.run(plan);
+  ASSERT_EQ(results.size(), plan.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].scenario, plan.jobs()[i].scenario);
+    EXPECT_EQ(results[i].scheduler, plan.jobs()[i].scheduler);
+    EXPECT_EQ(results[i].report.scenario, plan.jobs()[i].scenario);
+    EXPECT_EQ(results[i].report.scheduler, plan.jobs()[i].scheduler);
+    EXPECT_GT(results[i].report.offered, 0u);
+  }
+}
+
+TEST(ParallelRunner, JobExceptionSurfacesToCaller) {
+  ExperimentPlan plan;
+  plan.add("boom", "X", 0, []() -> SimReport {
+    throw std::runtime_error("job exploded");
+  });
+  ParallelRunner runner(2);
+  EXPECT_THROW(runner.run(plan), std::runtime_error);
+}
+
+// The tentpole contract: identical artifacts whatever --jobs is. Each run
+// gets a fresh store (stores are shared within a run, never across runs).
+TEST(ParallelRunner, ArtifactBytesIdenticalAcrossThreadCounts) {
+  auto artifact_at = [](std::size_t jobs) {
+    auto store = std::make_shared<TraceStore>();
+    const auto plan = tiny_plan(store);
+    ParallelRunner runner(jobs);
+    return artifact_json("determinism_test", runner.run(plan));
+  };
+  const std::string serial = artifact_at(1);
+  EXPECT_EQ(serial, artifact_at(4));
+  EXPECT_EQ(serial, artifact_at(0));  // hardware concurrency
+}
+
+// A tiny shared budget forces some jobs through the overflow path; the
+// artifact must still be identical to the unbounded-store run.
+TEST(ParallelRunner, SharedBudgetDoesNotAffectResults) {
+  auto artifact_with_budget = [](std::size_t budget) {
+    auto store = std::make_shared<TraceStore>(budget);
+    const auto plan = tiny_plan(store);
+    ParallelRunner runner(4);
+    return artifact_json("budget_test", runner.run(plan));
+  };
+  EXPECT_EQ(artifact_with_budget(128), artifact_with_budget(1 << 20));
+}
+
+// ------------------------------------------------------------------ JSON ---
+
+TEST(JsonWriter, EscapesAndFormatsDeterministically) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("s", std::string("a\"b\\c\n\t\x01"));
+  w.field("t", true);
+  w.field("i", std::int64_t{-3});
+  w.field("u", std::uint64_t{18446744073709551615ULL});
+  w.field("d", 0.1);
+  w.field("e", 1e300);
+  w.key("a");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.end_object();
+  const std::string doc = w.str();
+  EXPECT_NE(doc.find("\"a\\\"b\\\\c\\n\\t\\u0001\""), std::string::npos);
+  EXPECT_NE(doc.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(doc.find("\"d\": 0.1"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("1e+300"), std::string::npos) << doc;
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("nan", std::numeric_limits<double>::quiet_NaN());
+  w.field("inf", std::numeric_limits<double>::infinity());
+  w.end_object();
+  EXPECT_NE(w.str().find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(w.str().find("\"inf\": null"), std::string::npos);
+}
+
+TEST(ReportJson, RoundTripStableAndSortedExtras) {
+  SimReport r;
+  r.scheduler = "LAPS";
+  r.scenario = "T1";
+  r.offered = 10;
+  r.delivered = 8;
+  r.dropped = 2;
+  r.extra["zeta"] = 1.0;
+  r.extra["alpha"] = 2.0;
+  const std::string a = report_to_json(r);
+  const std::string b = report_to_json(r);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.find("\"alpha\""), a.find("\"zeta\"")) << "extras sorted";
+  EXPECT_NE(a.find("\"drop_ratio\": 0.2"), std::string::npos) << a;
+}
+
+TEST(ArtifactJson, ContainsSchemaReportsAndTables) {
+  Table t({"col1", "col2"});
+  t.add_row({"a", "b"});
+  JobResult res;
+  res.scenario = "s1";
+  res.scheduler = "FCFS";
+  res.seed = 9;
+  const std::string doc = artifact_json("mytool", {res}, {{"tbl", &t}});
+  EXPECT_NE(doc.find("\"schema\": \"laps-bench-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tool\": \"mytool\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\": 9"), std::string::npos);
+  EXPECT_NE(doc.find("\"title\": \"tbl\""), std::string::npos);
+  EXPECT_NE(doc.find("\"col1\""), std::string::npos);
+  EXPECT_EQ(doc.back(), '\n');
+}
+
+TEST(ArtifactJson, NullTableIsAnError) {
+  EXPECT_THROW(artifact_json("t", {}, {{"missing", nullptr}}),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- harness ---
+
+TEST(Harness, ParsesJobsAndJsonFlags) {
+  const char* argv[] = {"prog", "--jobs=3", "--json=/tmp/x.json"};
+  Flags flags(3, argv);
+  const auto opts = parse_harness_flags(flags);
+  EXPECT_EQ(opts.jobs, 3u);
+  EXPECT_EQ(opts.json_path, "/tmp/x.json");
+  flags.finish();
+}
+
+TEST(Harness, JobsZeroResolvesToHardwareConcurrency) {
+  const char* argv[] = {"prog", "--jobs=0"};
+  Flags flags(2, argv);
+  const auto opts = parse_harness_flags(flags);
+  EXPECT_GE(opts.jobs, 1u);
+}
+
+TEST(Harness, GuardedMainConvertsExceptionsToExitCode) {
+  const char* argv[] = {"prog", "--definitely-unknown-flag"};
+  const int rc = laps::guarded_main(
+      2, const_cast<char**>(argv), [](Flags& flags) {
+        flags.finish();  // throws: the flag was never consumed
+        return 0;
+      });
+  EXPECT_EQ(rc, 1);
+
+  const char* ok_argv[] = {"prog"};
+  EXPECT_EQ(laps::guarded_main(1, const_cast<char**>(ok_argv),
+                               [](Flags&) { return 0; }),
+            0);
+}
+
+TEST(Harness, NegativeJobsRejected) {
+  const char* argv[] = {"prog", "--jobs=-2"};
+  Flags flags(2, argv);
+  EXPECT_THROW(parse_harness_flags(flags), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laps

@@ -3,15 +3,18 @@
 // what example-based tests miss.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "baselines/adaptive_hash.h"
 #include "baselines/afs.h"
+#include "baselines/batch.h"
 #include "baselines/fcfs.h"
 #include "baselines/oracle_topk.h"
 #include "baselines/static_hash.h"
@@ -316,6 +319,80 @@ TEST(AfdProperty, MatchesBruteForceTwoLevelModel) {
       ASSERT_EQ(afd.is_aggressive(key), afc.entries.count(key) == 1)
           << "seed " << seed << " step " << i;
     }
+  }
+}
+
+// ------------------------------------- randomized configs, ROB invariants ---
+
+// Conservation and order-restoration invariants under *randomized* scenario
+// shapes (cores, queue depth, horizon, load, service count), not just the
+// paper's fixed tables. With the egress ReorderBuffer on, three things must
+// hold for every scheduler and every configuration:
+//   1. offered == delivered + dropped          (packet conservation)
+//   2. out_of_order == 0                       (the ROB restores order)
+//   3. rob_released + rob_stranded == delivered (every delivered packet
+//      leaves through the buffer or is still held at the horizon)
+TEST(RandomizedConfigProperty, ConservationAndRestoredOrderEverywhere) {
+  const std::vector<std::pair<std::string,
+                              std::function<std::unique_ptr<Scheduler>()>>>
+      schedulers = {
+          {"FCFS", [] { return std::make_unique<FcfsScheduler>(); }},
+          {"AFS", [] { return std::make_unique<AfsScheduler>(); }},
+          {"StaticHash", [] { return std::make_unique<StaticHashScheduler>(); }},
+          {"Batch", [] { return std::make_unique<BatchScheduler>(); }},
+      };
+
+  Rng rng(20130806);
+  const auto trace_names = trace_registry_names();
+  for (int round = 0; round < 8; ++round) {
+    ScenarioConfig cfg;
+    cfg.name = "random" + std::to_string(round);
+    const std::size_t num_services = 1 + rng.below(kNumServices);
+    cfg.num_cores = num_services + 1 + rng.below(12);
+    cfg.queue_capacity = static_cast<std::uint32_t>(4 + rng.below(61));
+    cfg.seconds = 0.002 + 0.002 * rng.uniform();
+    cfg.seed = rng.next();
+    cfg.restore_order = true;
+    // Aggregate offered load 50%-160% of a rough forwarding capacity, so
+    // roughly half the rounds overload (drops exercise ReorderBuffer gaps).
+    const double total_mpps =
+        static_cast<double>(cfg.num_cores) * 2.0 * (0.5 + 1.1 * rng.uniform());
+    for (std::size_t s = 0; s < num_services; ++s) {
+      ServiceTraffic t;
+      t.path = static_cast<ServicePath>(s);
+      t.rate = HoltWintersParams{total_mpps / num_services, 0.0, 0.0, 60.0,
+                                 0.0};
+      t.trace = make_trace(trace_names[rng.below(trace_names.size())]);
+      cfg.services.push_back(std::move(t));
+    }
+
+    for (const auto& [name, make] : schedulers) {
+      auto scheduler = make();
+      const SimReport r = run_scenario(cfg, *scheduler);
+      const std::string ctx = cfg.name + "/" + name + " cores=" +
+                              std::to_string(cfg.num_cores) + " q=" +
+                              std::to_string(cfg.queue_capacity);
+      ASSERT_EQ(r.offered, r.delivered + r.dropped) << ctx;
+      ASSERT_EQ(r.out_of_order, 0u) << ctx;
+      ASSERT_EQ(r.latency_ns.count(), r.delivered) << ctx;
+      const double released = r.extra.at("rob_released_packets");
+      const double stranded = r.extra.at("rob_stranded_packets");
+      ASSERT_EQ(static_cast<std::uint64_t>(released + stranded), r.delivered)
+          << ctx << " released=" << released << " stranded=" << stranded;
+    }
+
+    // LAPS partitions cores among services, so its num_services must match
+    // the scenario's service count (paths 0..n-1 by construction above).
+    LapsConfig laps_cfg;
+    laps_cfg.num_services = num_services;
+    LapsScheduler laps(laps_cfg);
+    const SimReport r = run_scenario(cfg, laps);
+    ASSERT_EQ(r.offered, r.delivered + r.dropped) << cfg.name << "/LAPS";
+    ASSERT_EQ(r.out_of_order, 0u) << cfg.name << "/LAPS";
+    ASSERT_EQ(static_cast<std::uint64_t>(r.extra.at("rob_released_packets") +
+                                         r.extra.at("rob_stranded_packets")),
+              r.delivered)
+        << cfg.name << "/LAPS";
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include "sim/event_heap.h"
 #include "sim/npu.h"
+#include "sim/reorder_buffer.h"
 #include "sim/runner.h"
 #include "sim/scheduler.h"
 #include "trace/synthetic.h"
@@ -291,6 +292,127 @@ TEST(Npu, ViewExposesIdleSince) {
   ProbeScheduler sched;
   run_scenario(tiny_scenario(2.0, 0.005), sched);
   EXPECT_TRUE(sched.saw_busy_);
+}
+
+// ---------------------------------------------------------- ReorderBuffer ---
+
+TEST(ReorderBuffer, InOrderStreamPassesThroughUnbuffered) {
+  ReorderBuffer rob;
+  for (std::uint32_t seq = 0; seq < 5; ++seq) {
+    const auto out = rob.on_complete(7, seq, 100 * seq);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].seq, seq);
+    EXPECT_EQ(out[0].held_ns, 0);
+  }
+  EXPECT_EQ(rob.occupancy(), 0u);
+  EXPECT_EQ(rob.buffered_total(), 0u);
+  EXPECT_EQ(rob.released_total(), 5u);
+  EXPECT_EQ(rob.disordered_flows(), 0u);
+}
+
+TEST(ReorderBuffer, GapHoldsSuccessorsThenReleasesInFlowOrder) {
+  ReorderBuffer rob;
+  // seq 1 and 2 complete while 0 is still in flight: both held.
+  EXPECT_TRUE(rob.on_complete(3, 1, 100).empty());
+  EXPECT_TRUE(rob.on_complete(3, 2, 200).empty());
+  EXPECT_EQ(rob.occupancy(), 2u);
+  EXPECT_EQ(rob.max_occupancy(), 2u);
+  // seq 0 completes: all three leave, in order, with hold times.
+  const auto out = rob.on_complete(3, 0, 500);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[0].held_ns, 0);
+  EXPECT_EQ(out[1].seq, 1u);
+  EXPECT_EQ(out[1].held_ns, 400);
+  EXPECT_EQ(out[2].seq, 2u);
+  EXPECT_EQ(out[2].held_ns, 300);
+  EXPECT_EQ(rob.occupancy(), 0u);
+  EXPECT_EQ(rob.buffered_total(), 2u);
+  EXPECT_EQ(rob.released_total(), 3u);
+  EXPECT_EQ(rob.total_held_ns(), 700);
+  EXPECT_EQ(rob.disordered_flows(), 0u) << "flow state reclaimed";
+}
+
+TEST(ReorderBuffer, DropOfGapHeadReleasesHeldSuccessors) {
+  // The mid-window drop case: a full ingress queue drops the packet the
+  // window head is waiting for. Held successors must flow out immediately;
+  // the buffer must never wait for a packet that will not arrive.
+  ReorderBuffer rob;
+  EXPECT_TRUE(rob.on_complete(9, 1, 10).empty());
+  EXPECT_TRUE(rob.on_complete(9, 2, 20).empty());
+  EXPECT_EQ(rob.occupancy(), 2u);
+  const auto out = rob.on_drop(9, 0, 50);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 1u);
+  EXPECT_EQ(out[1].seq, 2u);
+  EXPECT_EQ(rob.occupancy(), 0u);
+  EXPECT_EQ(rob.released_total(), 2u);
+}
+
+TEST(ReorderBuffer, DropRecordedAheadIsSkippedWhenReached) {
+  ReorderBuffer rob;
+  // seq 1 is dropped before 0 even completes (queue-full on arrival order
+  // is not release order). Nothing releasable yet.
+  EXPECT_TRUE(rob.on_drop(4, 1, 5).empty());
+  // seq 0 completes: releases 0, then skips the dropped 1.
+  const auto out = rob.on_complete(4, 0, 30);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 0u);
+  // seq 2 is now the expected head and passes straight through.
+  const auto out2 = rob.on_complete(4, 2, 40);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0].seq, 2u);
+  EXPECT_EQ(rob.disordered_flows(), 0u);
+}
+
+TEST(ReorderBuffer, InterleavedFlowsAreIndependent) {
+  ReorderBuffer rob;
+  EXPECT_TRUE(rob.on_complete(0, 1, 10).empty());  // flow 0 has a gap
+  const auto f1 = rob.on_complete(1, 0, 20);       // flow 1 is in order
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(f1[0].gflow, 1u);
+  const auto f0 = rob.on_complete(0, 0, 30);
+  ASSERT_EQ(f0.size(), 2u);
+  EXPECT_EQ(f0[0].gflow, 0u);
+  EXPECT_EQ(rob.occupancy(), 0u);
+}
+
+TEST(Npu, RestoreOrderZeroesOooUnderPingPongOverload) {
+  // The order-restoration counterpart of PingPongOnOverloadReorders: same
+  // adversarial scheduler and overload, but completions route through the
+  // egress ReorderBuffer — the wire must see zero reordering, and the ROB
+  // stats must account for every delivered packet.
+  PingPongScheduler sched;
+  auto cfg = tiny_scenario(3.5, 0.01, 2, ServicePath::kIpForward, 1);
+  cfg.restore_order = true;
+  const auto report = run_scenario(cfg, sched);
+  EXPECT_GT(report.dropped, 0u) << "overload must drop (exercises on_drop)";
+  EXPECT_EQ(report.out_of_order, 0u);
+  EXPECT_GT(report.extra.at("rob_max_occupancy"), 0.0)
+      << "an interleaved flow must actually be buffered";
+  EXPECT_GT(report.extra.at("rob_buffered_packets"), 0.0);
+  // The run drains all in-flight work past the horizon, so nothing can be
+  // stranded: everything delivered left through the buffer.
+  EXPECT_EQ(report.extra.at("rob_stranded_packets"), 0.0);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                report.extra.at("rob_released_packets")),
+            report.delivered);
+}
+
+TEST(Npu, RestoreOrderIsFreeForSingleFifoCore) {
+  // A pinned single core never reorders, so the ROB should pass everything
+  // straight through: no buffering, no holds.
+  PinnedScheduler sched(0);
+  auto cfg = tiny_scenario(1.5, 0.01);
+  cfg.restore_order = true;
+  const auto report = run_scenario(cfg, sched);
+  EXPECT_EQ(report.out_of_order, 0u);
+  EXPECT_EQ(report.extra.at("rob_buffered_packets"), 0.0);
+  EXPECT_EQ(report.extra.at("rob_max_occupancy"), 0.0);
+  EXPECT_EQ(report.extra.at("rob_mean_held_us"), 0.0);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                report.extra.at("rob_released_packets")),
+            report.delivered);
 }
 
 TEST(SimReport, RatioGuardsAgainstEmpty) {
