@@ -137,7 +137,7 @@ int run(laps::Flags& flags) {
   laps::Table e2e({"hash", "drop%", "utilization"});
   for (const auto kind : kinds) {
     HashVariantScheduler sched(kind);
-    const auto r = laps::run_scenario(cfg, sched);
+    const auto r = laps::run_observed(cfg, sched, harness);
     e2e.add_row({r.scheduler, laps::Table::pct(r.drop_ratio()),
                  laps::Table::pct(r.mean_core_utilization)});
     std::fprintf(stderr, "done: %s\n", r.scheduler.c_str());

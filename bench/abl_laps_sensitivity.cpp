@@ -78,11 +78,11 @@ int run(laps::Flags& flags) {
   laps::ExperimentPlan plan(options.seed);
   for (const auto& [label, laps_cfg] : variants) {
     plan.add(label, "LAPS", options.seed,
-             [options, trace, laps_cfg]() -> laps::SimReport {
+             [options, trace, laps_cfg, harness]() -> laps::SimReport {
                const auto cfg =
                    laps::make_single_service_scenario(trace, options, 1.05);
                laps::LapsScheduler sched(laps_cfg);
-               return laps::run_scenario(cfg, sched);
+               return laps::run_observed(cfg, sched, harness);
              });
   }
 

@@ -41,21 +41,21 @@ int run(laps::Flags& flags) {
 
   laps::ExperimentPlan plan(options.seed);
   plan.add("LAPS (preserve order)", "LAPS", options.seed,
-           [scenario]() -> laps::SimReport {
+           [scenario, harness]() -> laps::SimReport {
              laps::LapsConfig laps_cfg;
              laps_cfg.num_services = 1;
              laps::LapsScheduler sched(laps_cfg);
-             return laps::run_scenario(scenario(false), sched);
+             return laps::run_observed(scenario(false), sched, harness);
            });
   plan.add("FCFS, no buffer (reorders!)", "FCFS", options.seed,
-           [scenario]() -> laps::SimReport {
+           [scenario, harness]() -> laps::SimReport {
              laps::FcfsScheduler sched;
-             return laps::run_scenario(scenario(false), sched);
+             return laps::run_observed(scenario(false), sched, harness);
            });
   plan.add("FCFS + reorder buffer", "FCFS", options.seed,
-           [scenario]() -> laps::SimReport {
+           [scenario, harness]() -> laps::SimReport {
              laps::FcfsScheduler sched;
-             return laps::run_scenario(scenario(true), sched);
+             return laps::run_observed(scenario(true), sched, harness);
            });
 
   laps::ParallelRunner runner(harness.jobs);

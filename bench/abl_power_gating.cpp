@@ -58,14 +58,14 @@ int run(laps::Flags& flags) {
   for (double load : {0.2, 0.4, 0.6, 0.8}) {
     for (bool gating : {false, true}) {
       plan.add("load=" + laps::Table::pct(load, 0), gating ? "on" : "off",
-               options.seed, [options, trace, load, gating]() {
+               options.seed, [options, trace, load, gating, harness]() {
                  const auto cfg = laps::make_single_service_scenario(
                      trace, options, load);
                  laps::LapsConfig laps_cfg;
                  laps_cfg.num_services = 1;
                  laps_cfg.power_gating = gating;
                  laps::LapsScheduler sched(laps_cfg);
-                 return laps::run_scenario(cfg, sched);
+                 return laps::run_observed(cfg, sched, harness);
                });
     }
   }

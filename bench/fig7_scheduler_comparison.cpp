@@ -103,7 +103,8 @@ int run(laps::Flags& flags) {
                   laps::ScenarioOptions o = options;
                   o.seed = seed;
                   return laps::make_paper_scenario(id, o);
-                });
+                },
+                laps::observed_runner(harness));
 
   laps::ParallelRunner runner(harness.jobs);
   const auto results = runner.run(plan);

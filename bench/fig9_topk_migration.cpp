@@ -93,7 +93,8 @@ int run(laps::Flags& flags) {
                   laps::ScenarioOptions o = options;
                   o.seed = seed;
                   return laps::make_single_service_scenario(trace, o, load);
-                });
+                },
+                laps::observed_runner(harness));
 
   laps::ParallelRunner runner(harness.jobs);
   const auto results = runner.run(plan);

@@ -1,0 +1,213 @@
+// perf_kernel: packets-per-second of the simulation kernel itself.
+//
+// Traffic is generated ONCE into a ReplayStream, then replayed through
+// three kernels, so the (dominant) cost of online packet generation is out
+// of the timed loop and the numbers compare pure kernel throughput:
+//
+//   npu            the retained seed kernel (std::deque queues, per-flow
+//                  state in four parallel vectors, SimReport built inline)
+//   engine         the SimEngine with NO probes attached — the bare
+//                  discrete-event loop, nothing measured
+//   engine+report  the SimEngine with a ReportProbe, i.e. exactly what
+//                  run_scenario does for every bench and test
+//
+// A deliberately trivial scheduler (gflow mod cores) keeps scheduling cost
+// out of the measurement, so the comparison isolates queue structure,
+// flow-state layout, and inline-vs-probe measurement.
+//
+// The workload is IP forwarding over a million-flow Zipf trace: large
+// enough that per-flow state outgrows the cache — the regime where the
+// kernels' flow-state layouts actually differ — and representative of the
+// paper's backbone traces. Repetitions interleave the three kernels so
+// machine noise hits all of them alike.
+//
+// Usage: perf_kernel [--seconds=0.02] [--reps=7] [--seed=3] [--cores=16]
+//                    [--flows=1000000] [--rate-mpps=28]
+//                    [--json=BENCH_kernel.json]
+//
+// The JSON artifact intentionally contains wall-clock measurements — it is
+// a performance trajectory (BENCH_kernel.json), not a simulation result.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/harness.h"
+#include "sim/engine.h"
+#include "sim/probes.h"
+#include "sim/report_json.h"
+#include "sim/runner.h"
+#include "trace/synthetic.h"
+#include "util/json_writer.h"
+#include "util/tableio.h"
+
+namespace {
+
+using namespace laps;
+
+/// gflow mod cores: the cheapest deterministic spreader possible, so the
+/// measured time is the kernel, not the scheduler under test.
+class ModuloScheduler final : public Scheduler {
+ public:
+  void attach(std::size_t num_cores) override { num_cores_ = num_cores; }
+  CoreId schedule(const SimPacket& pkt, const NpuView&) override {
+    return static_cast<CoreId>(pkt.gflow % num_cores_);
+  }
+  std::string name() const override { return "Modulo"; }
+
+ private:
+  std::size_t num_cores_ = 1;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Measurement {
+  std::string variant;
+  std::uint64_t packets = 0;  ///< packets per replayed run
+  double best_seconds = 0.0;  ///< fastest repetition
+  double mpps() const {
+    return best_seconds > 0 ? static_cast<double>(packets) / best_seconds / 1e6
+                            : 0.0;
+  }
+};
+
+int run(Flags& flags) {
+  const double seconds = flags.get_double("seconds", 0.02);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  const auto cores = static_cast<std::size_t>(flags.get_int("cores", 16));
+  const auto flows = static_cast<std::size_t>(flags.get_int("flows", 1'000'000));
+  const double rate = flags.get_double("rate-mpps", 28.0);
+  const int reps = static_cast<int>(flags.get_int("reps", 7));
+  const auto harness = parse_harness_flags(flags);
+  flags.finish();
+  if (reps < 1) throw std::invalid_argument("--reps must be >= 1");
+
+  // Constant-rate IP forwarding: high load keeps every core busy
+  // (completions dominate the heap) without heavy drops. No churn, so the
+  // generator's flow-id fast path applies while recording.
+  SyntheticTraceSpec spec;
+  spec.name = "perf";
+  spec.num_flows = flows;
+  spec.zipf_alpha = 1.02;
+  spec.seed = 101;
+  ServiceTraffic traffic;
+  traffic.path = ServicePath::kIpForward;
+  traffic.rate = HoltWintersParams{rate, 0.0, 0.0, 60.0, 0.0};
+  traffic.trace = std::make_shared<SyntheticTrace>(spec);
+
+  // Record the arrival stream once; every kernel replays identical traffic.
+  PacketGenerator generator({traffic}, seed, seconds);
+  ReplayStream replay = ReplayStream::record(generator);
+
+  NpuConfig npu_cfg;
+  npu_cfg.num_cores = cores;
+  SimEngineConfig eng_cfg;
+  eng_cfg.num_cores = cores;
+
+  Measurement npu{"npu"}, engine{"engine"}, engine_report{"engine+report"};
+  npu.packets = engine.packets = engine_report.packets = replay.size();
+  SimReport check_npu, check_engine;
+
+  const auto time_npu = [&]() {
+    ModuloScheduler sched;
+    replay.rewind();
+    Npu kernel(npu_cfg, sched);
+    const auto t0 = std::chrono::steady_clock::now();
+    SimReport rep = kernel.run(replay, "perf_kernel");
+    const double s = seconds_since(t0);
+    check_npu = std::move(rep);
+    return s;
+  };
+  const auto time_engine = [&](bool with_report) {
+    ModuloScheduler sched;
+    replay.rewind();
+    ReportProbe probe;
+    ProbeSet probes;
+    if (with_report) probes.add(&probe);
+    SimEngine kernel(eng_cfg, sched, probes);
+    const auto t0 = std::chrono::steady_clock::now();
+    kernel.run(replay, "perf_kernel");
+    const double s = seconds_since(t0);
+    if (with_report) check_engine = probe.take_report();
+    return s;
+  };
+
+  // One warm-up pass, then `reps` interleaved passes (noise hits all three
+  // kernels alike); best-of wins.
+  time_npu();
+  time_engine(false);
+  time_engine(true);
+  for (int r = 0; r < reps; ++r) {
+    const double n = time_npu();
+    const double e = time_engine(false);
+    const double p = time_engine(true);
+    if (r == 0 || n < npu.best_seconds) npu.best_seconds = n;
+    if (r == 0 || e < engine.best_seconds) engine.best_seconds = e;
+    if (r == 0 || p < engine_report.best_seconds) engine_report.best_seconds = p;
+  }
+
+  // The two reporting kernels must agree exactly — this bench doubles as a
+  // cheap end-to-end equivalence check (the real one is the golden suite).
+  if (report_to_json(check_npu) != report_to_json(check_engine)) {
+    throw std::logic_error("perf_kernel: npu and engine reports differ");
+  }
+
+  const double speedup = npu.best_seconds / engine.best_seconds;
+  const double probe_overhead =
+      engine_report.best_seconds / engine.best_seconds - 1.0;
+
+  std::printf("=== Kernel throughput: %llu replayed packets/run, %zu cores, "
+              "best of %d ===\n\n",
+              static_cast<unsigned long long>(npu.packets), cores, reps);
+  Table out({"kernel", "wall ms", "Mpps", "vs npu"});
+  for (const Measurement* m : {&npu, &engine, &engine_report}) {
+    out.add_row({m->variant, Table::num(m->best_seconds * 1e3, 2),
+                 Table::num(m->mpps(), 2),
+                 Table::num(npu.best_seconds / m->best_seconds, 2) + "x"});
+  }
+  std::printf("%s\n", out.to_string().c_str());
+  std::printf("engine speedup over npu (null probes): %.2fx\n", speedup);
+  std::printf("ReportProbe overhead over null probes: %.1f%%\n",
+              probe_overhead * 100.0);
+
+  if (!harness.json_path.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("schema", "laps-perf-v1");
+    w.field("tool", "perf_kernel");
+    w.field("packets_per_run", static_cast<std::int64_t>(npu.packets));
+    w.field("reps", static_cast<std::int64_t>(reps));
+    w.key("kernels");
+    w.begin_array();
+    for (const Measurement* m : {&npu, &engine, &engine_report}) {
+      w.begin_object();
+      w.field("name", m->variant);
+      w.field("best_seconds", m->best_seconds);
+      w.field("mpps", m->mpps());
+      w.end_object();
+    }
+    w.end_array();
+    w.field("engine_speedup_vs_npu", speedup);
+    w.field("report_probe_overhead", probe_overhead);
+    w.end_object();
+    const std::string doc = w.str() + "\n";
+    std::FILE* f = std::fopen(harness.json_path.c_str(), "wb");
+    if (f == nullptr) {
+      throw std::runtime_error("cannot open: " + harness.json_path);
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote perf artifact: %s\n",
+                 harness.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return laps::guarded_main(argc, argv, run); }

@@ -4,7 +4,8 @@
 // dynamically reallocates between services.
 //
 // Usage: multi_service_router [--seconds=0.25] [--seed=N] [--cores=16]
-//                             [--json=PATH]
+//                             [--json=PATH] [--timeseries=PATH]
+//                             [--trace-out=PATH]
 #include <cstdio>
 #include <iostream>
 
@@ -50,7 +51,7 @@ int run(laps::Flags& flags) {
   LapsConfig laps_config;
   laps_config.num_services = kNumServices;
   LapsScheduler scheduler(laps_config);
-  const SimReport report = run_scenario(config, scheduler);
+  const SimReport report = run_observed(config, scheduler, harness);
 
   Table per_service({"service", "offered", "dropped", "drop%"});
   for (std::size_t s = 0; s < kNumServices; ++s) {

@@ -4,6 +4,7 @@
 //   trace -> traffic model -> scenario -> scheduler -> report
 //
 // Build & run:  ./build/examples/quickstart [--json=PATH]
+//               [--timeseries=PATH] [--trace-out=PATH]
 #include <cstdio>
 #include <iostream>
 
@@ -45,8 +46,9 @@ int run(laps::Flags& flags) {
   laps_config.num_services = 1;
   LapsScheduler scheduler(laps_config);
 
-  // 4. Run and report.
-  const SimReport report = run_scenario(config, scheduler);
+  // 4. Run and report. run_observed = run_scenario plus any observability
+  //    probes requested on the command line (--timeseries, --trace-out).
+  const SimReport report = run_observed(config, scheduler, harness);
   std::cout << report.summary() << "\n\n";
 
   std::printf("Delivered %.1f%% of %llu packets at %.2f Mpps; "

@@ -57,7 +57,8 @@ int run(laps::Flags& flags) {
                   ScenarioOptions o = options;
                   o.seed = seed;
                   return make_paper_scenario(scenario, o);
-                });
+                },
+                observed_runner(harness));
 
   ParallelRunner runner(harness.jobs);
   const auto results = runner.run(plan);

@@ -64,6 +64,8 @@ bool LapsScheduler::wake_core(CoreId core, TimeNs now) {
   // hundreds of sleep/wake cycles (each one churns the map table).
   no_park_until_[core] = now + 10 * config_.sleep_after;
   ++wake_events_;
+  emit(SchedEvent::Kind::kWake, static_cast<std::int32_t>(core),
+       static_cast<std::int32_t>(allocator_->owner(core)));
   return true;
 }
 
@@ -95,6 +97,8 @@ void LapsScheduler::park_core(std::size_t service, CoreId core, TimeNs now) {
   parked_[core] = true;
   parked_since_[core] = now;
   ++sleep_events_;
+  emit(SchedEvent::Kind::kPark, static_cast<std::int32_t>(core),
+       static_cast<std::int32_t>(service));
 }
 
 void LapsScheduler::update_consolidation(std::size_t service, CoreId target,
@@ -194,12 +198,16 @@ bool LapsScheduler::request_core(std::size_t service) {
       surplus_since_[core] = -1;
       allocator_->unmark_surplus(core);
       add_core_buckets(service, core);
+      emit(SchedEvent::Kind::kCoreGrant, static_cast<std::int32_t>(core),
+           static_cast<std::int32_t>(service));
       return true;
     }
   }
   const auto granted = allocator_->grant_core(service);
   if (!granted) {
     ++core_requests_denied_;
+    emit(SchedEvent::Kind::kCoreDenied, -1,
+         static_cast<std::int32_t>(service));
     return false;
   }
   const CoreId core = *granted;
@@ -217,6 +225,8 @@ bool LapsScheduler::request_core(std::size_t service) {
     migration_tables_[s].remove_core_entries(core);
   }
   add_core_buckets(service, core);
+  emit(SchedEvent::Kind::kCoreGrant, static_cast<std::int32_t>(core),
+       static_cast<std::int32_t>(service));
   return true;
 }
 
@@ -225,8 +235,19 @@ CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
   const std::uint64_t key = pkt.flow_key();
 
   // The AFD observes every packet in the background (Sec. III-G: not on the
-  // critical path; sampling is handled inside per Fig. 8c).
-  afd_->access(key);
+  // critical path; sampling is handled inside per Fig. 8c). Promotions are
+  // only detectable as a stats delta, so the (cheap) comparison runs only
+  // while a sink is listening.
+  if (sink_ != nullptr) {
+    const std::uint64_t promotions_before = afd_->stats().promotions;
+    afd_->access(key);
+    if (afd_->stats().promotions != promotions_before) {
+      emit(SchedEvent::Kind::kAfdPromotion, -1,
+           static_cast<std::int32_t>(service), key);
+    }
+  } else {
+    afd_->access(key);
+  }
   last_now_ = view.now();
   update_surplus_marks(view);
   update_parking(last_now_);
@@ -293,6 +314,9 @@ CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
         migration_tables_[service].add(key, minq);
         afd_->invalidate(key);
         ++aggressive_migrations_;
+        emit(SchedEvent::Kind::kAggressiveMigration,
+             static_cast<std::int32_t>(minq),
+             static_cast<std::int32_t>(service), key);
         target = minq;
       }
     } else {

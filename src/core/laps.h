@@ -112,6 +112,11 @@ class LapsScheduler final : public Scheduler {
 
   std::map<std::string, double> extra_stats() const override;
 
+  /// Observability: core grants/denials, AFD promotions, aggressive-flow
+  /// migrations, and park/wake transitions are emitted through the sink as
+  /// they happen (the extra_stats() totals only say how many, not when).
+  void set_event_sink(SchedEventSink* sink) override { sink_ = sink; }
+
   // Introspection for tests.
   const CoreAllocator& allocator() const { return *allocator_; }
   const MapTable& map_table(std::size_t service) const {
@@ -157,7 +162,20 @@ class LapsScheduler final : public Scheduler {
   /// Adds `core`'s virtual buckets to `service`'s map table.
   void add_core_buckets(std::size_t service, CoreId core);
 
+  /// Emits a scheduler-internal event when a sink is installed.
+  void emit(SchedEvent::Kind kind, std::int32_t core, std::int32_t service,
+            std::uint64_t flow_key = 0) {
+    if (sink_ == nullptr) return;
+    SchedEvent event;
+    event.kind = kind;
+    event.core = core;
+    event.service = service;
+    event.flow_key = flow_key;
+    sink_->sched_event(event);
+  }
+
   LapsConfig config_;
+  SchedEventSink* sink_ = nullptr;
   std::unique_ptr<CoreAllocator> allocator_;
   std::unique_ptr<Afd> afd_;
   std::vector<MapTable> map_tables_;

@@ -47,7 +47,7 @@ void ExperimentPlan::add(std::string scenario, std::string scheduler,
 void ExperimentPlan::add_grid(const std::vector<std::string>& scenarios,
                               const std::vector<SchedulerSpec>& schedulers,
                               const std::vector<std::uint64_t>& seeds,
-                              ScenarioBuilder build) {
+                              ScenarioBuilder build, JobRunner runner) {
   if (!build) throw std::invalid_argument("add_grid: null scenario builder");
   for (const SchedulerSpec& spec : schedulers) {
     if (!spec.make) {
@@ -62,9 +62,10 @@ void ExperimentPlan::add_grid(const std::vector<std::string>& scenarios,
         // on any worker thread after this frame is gone.
         auto make = spec.make;
         add(scenario, spec.name, seed,
-            [scenario, make, seed, build]() -> SimReport {
+            [scenario, make, seed, build, runner]() -> SimReport {
               const ScenarioConfig cfg = build(scenario, seed);
               auto scheduler = make();
+              if (runner) return runner(cfg, *scheduler);
               return run_scenario(cfg, *scheduler);
             });
       }

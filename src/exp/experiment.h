@@ -66,13 +66,19 @@ class ExperimentPlan {
       std::function<ScenarioConfig(const std::string& scenario_id,
                                    std::uint64_t seed)>;
 
+  /// Executes one built job. The default (empty) runner is run_scenario;
+  /// benches that expose observability flags pass a wrapper around
+  /// run_observed instead. Must be callable from any worker thread.
+  using JobRunner =
+      std::function<SimReport(const ScenarioConfig&, Scheduler&)>;
+
   /// Expands the full scenario x scheduler x seed grid, scenario-major (the
   /// traversal order of the serial bench loops, so tables read the same).
   /// Each job builds its own config and scheduler at run time.
   void add_grid(const std::vector<std::string>& scenarios,
                 const std::vector<SchedulerSpec>& schedulers,
                 const std::vector<std::uint64_t>& seeds,
-                ScenarioBuilder build);
+                ScenarioBuilder build, JobRunner runner = {});
 
   const std::vector<ExperimentJob>& jobs() const { return jobs_; }
   std::size_t size() const { return jobs_.size(); }

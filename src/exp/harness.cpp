@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
+#include "sim/probes.h"
 #include "sim/report_json.h"
 #include "util/thread_pool.h"
 
@@ -16,7 +18,78 @@ HarnessOptions parse_harness_flags(Flags& flags) {
   if (jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
   opts.jobs = ThreadPool::resolve(static_cast<std::size_t>(jobs));
   opts.json_path = flags.get_string("json", "");
+  opts.timeseries_path = flags.get_string("timeseries", "");
+  opts.timeseries_window_us =
+      flags.get_double("timeseries-window-us", opts.timeseries_window_us);
+  if (opts.timeseries_window_us <= 0) {
+    throw std::invalid_argument("--timeseries-window-us must be > 0");
+  }
+  opts.trace_path = flags.get_string("trace-out", "");
   return opts;
+}
+
+namespace {
+
+/// "out.json" + (T1, LAPS, 42) -> "out.T1.LAPS.42.json"; label characters
+/// that would break filenames are replaced with '_'.
+std::string per_run_path(const std::string& stem, const std::string& scenario,
+                         const std::string& scheduler, std::uint64_t seed) {
+  std::string labels = scenario + "." + scheduler + "." + std::to_string(seed);
+  for (char& c : labels) {
+    if (c == '/' || c == '\\' || c == ' ') c = '_';
+  }
+  const std::size_t slash = stem.find_last_of('/');
+  const std::size_t dot = stem.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return stem + "." + labels;
+  }
+  return stem.substr(0, dot) + "." + labels + stem.substr(dot);
+}
+
+}  // namespace
+
+SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
+                       const HarnessOptions& opts) {
+  if (opts.timeseries_path.empty() && opts.trace_path.empty()) {
+    return run_scenario(config, scheduler);
+  }
+  const TimeNs window = from_us(opts.timeseries_window_us);
+  std::optional<TimeSeriesProbe> series;
+  std::optional<ChromeTraceProbe> trace;
+  ProbeSet extra;
+  TimeNs epoch_ns = 0;
+  if (!opts.timeseries_path.empty()) {
+    series.emplace(window);
+    extra.add(&*series);
+    epoch_ns = window;  // queue-depth windows need periodic CoreView epochs
+  }
+  if (!opts.trace_path.empty()) {
+    trace.emplace();
+    extra.add(&*trace);
+  }
+  // Probes attach before the run so the scheduler name reflects the instance
+  // actually used (grid jobs construct schedulers per job).
+  SimReport report = run_scenario(config, scheduler, extra, epoch_ns);
+  if (series) {
+    const std::string path = per_run_path(opts.timeseries_path, config.name,
+                                          scheduler.name(), config.seed);
+    series->write(path);
+    std::fprintf(stderr, "wrote time series: %s\n", path.c_str());
+  }
+  if (trace) {
+    const std::string path = per_run_path(opts.trace_path, config.name,
+                                          scheduler.name(), config.seed);
+    trace->write(path);
+    std::fprintf(stderr, "wrote chrome trace: %s\n", path.c_str());
+  }
+  return report;
+}
+
+ExperimentPlan::JobRunner observed_runner(const HarnessOptions& opts) {
+  if (opts.timeseries_path.empty() && opts.trace_path.empty()) return {};
+  return [opts](const ScenarioConfig& config, Scheduler& scheduler) {
+    return run_observed(config, scheduler, opts);
+  };
 }
 
 int guarded_main(int argc, char** argv, int (*body)(Flags&)) {

@@ -14,13 +14,35 @@ namespace laps {
 struct HarnessOptions {
   std::size_t jobs = 1;   ///< worker threads (0 was resolved to h/w conc.)
   std::string json_path;  ///< empty = no JSON artifact
+  /// Per-run observability probes (SimEngine tentpole). Paths are stems:
+  /// each simulation run writes <stem>.<scenario>.<scheduler>.<seed><ext>.
+  std::string timeseries_path;         ///< empty = no TimeSeriesProbe
+  double timeseries_window_us = 100.0; ///< window/epoch width
+  std::string trace_path;              ///< empty = no ChromeTraceProbe
 };
 
 /// Consumes the flags every experiment binary shares:
-///   --jobs=N   worker threads (default 1; 0 = hardware concurrency)
-///   --json=P   write a laps-bench-v1 JSON artifact to path P
+///   --jobs=N                  worker threads (default 1; 0 = hardware conc.)
+///   --json=P                  write a laps-bench-v1 JSON artifact to P
+///   --timeseries=P            per-run windowed time-series JSON (stem P)
+///   --timeseries-window-us=N  series window width (default 100 us)
+///   --trace-out=P             per-run chrome://tracing JSON (stem P)
 /// Call before flags.finish().
 HarnessOptions parse_harness_flags(Flags& flags);
+
+/// Runs one scenario through the SimEngine with whatever observability
+/// probes `opts` configures attached (none configured = plain
+/// run_scenario, zero probe overhead). Artifact filenames are derived from
+/// the configured stem plus (config.name, scheduler.name(), config.seed),
+/// so concurrent grid jobs write distinct files. Safe to call from any
+/// worker thread.
+SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
+                       const HarnessOptions& opts);
+
+/// `run_observed` packaged for ExperimentPlan::add_grid. Returns an empty
+/// runner when `opts` configures no probes, so unobserved grids keep the
+/// plain run_scenario fast path.
+ExperimentPlan::JobRunner observed_runner(const HarnessOptions& opts);
 
 /// Runs `body`, converting exceptions (unknown flags, bad arguments, failed
 /// calibration) into an error on stderr and a nonzero exit code instead of

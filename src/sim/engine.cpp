@@ -1,0 +1,248 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace laps {
+
+void FlowBlock::grow(std::size_t need) {
+  if (need > cap_) {
+    const std::size_t new_cap = std::max<std::size_t>(
+        64, std::bit_ceil(need));
+    // The all-zeros record is the default (core lanes store id + 1), so
+    // value-init is the entire initialization.
+    std::vector<Record> next(new_cap);
+    std::copy(block_.begin(),
+              block_.begin() + static_cast<std::ptrdiff_t>(size_),
+              next.begin());
+    block_ = std::move(next);
+    cap_ = new_cap;
+  }
+  size_ = need;
+}
+
+SimEngine::SimEngine(SimEngineConfig config, Scheduler& scheduler,
+                     ProbeSet probes)
+    : config_(config), scheduler_(scheduler), probes_(probes) {
+  if (config_.num_cores == 0) {
+    throw std::invalid_argument("SimEngine: 0 cores");
+  }
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument("SimEngine: 0 queue capacity");
+  }
+  cores_.reserve(config_.num_cores);
+  for (std::size_t c = 0; c < config_.num_cores; ++c) {
+    cores_.emplace_back(config_.queue_capacity);
+  }
+  views_.resize(config_.num_cores);
+  for (CoreView& v : views_) v.idle_since = 0;  // all idle at t = 0
+}
+
+void SimEngine::sched_event(const SchedEvent& event) {
+  for_probes([&](SimProbe& p) { p.on_sched_event(now_, event); });
+}
+
+void SimEngine::emit_epochs_until(TimeNs t) {
+  // Emit one epoch per crossed boundary, carrying the queue state as of
+  // the boundary instant (no event fires inside (now_, boundary], so the
+  // current views ARE the boundary state).
+  while (next_epoch_ <= t) {
+    const TimeNs boundary = next_epoch_;
+    next_epoch_ += config_.epoch_ns;
+    for_probes([&](SimProbe& p) {
+      p.on_epoch(boundary, {views_.data(), views_.size()});
+    });
+  }
+}
+
+void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
+  RunInfo info;
+  info.scenario = scenario;
+  info.scheduler = scheduler_.name();
+  info.num_cores = config_.num_cores;
+  info.queue_capacity = config_.queue_capacity;
+  info.restore_order = config_.restore_order;
+  for_probes([&](SimProbe& p) { p.on_run_begin(info); });
+
+  scheduler_.set_event_sink(probes_.empty() ? nullptr : this);
+  scheduler_.attach(config_.num_cores);
+
+  // Pre-size the flow block when the generator knows its population.
+  flows_.ensure(arrivals.total_flows() > 0
+                    ? static_cast<std::uint32_t>(arrivals.total_flows() - 1)
+                    : 0);
+
+  const bool epochs = config_.epoch_ns > 0 && !probes_.empty();
+  next_epoch_ = config_.epoch_ns;
+
+  auto arrival = arrivals.next();
+  TimeNs horizon = 0;
+  // Flow records are a random access into a block that outgrows the cache
+  // for realistic trace populations; start fetching the next arrival's
+  // record while earlier events are still being processed.
+  if (arrival && arrival->gflow < flows_.size()) {
+    __builtin_prefetch(&flows_.at(arrival->gflow), 1);
+  }
+
+  while (arrival || !completions_.empty()) {
+    // Completions at the same tick run before arrivals: the freed queue
+    // slot is visible to a simultaneously arriving packet, matching
+    // hardware where dequeue happens early in the cycle.
+    if (arrival &&
+        (completions_.empty() || arrival->time < completions_.top_time())) {
+      if (epochs) emit_epochs_until(arrival->time);
+      now_ = arrival->time;
+      horizon = now_;
+      SimPacket pkt;
+      pkt.arrival = arrival->time;
+      pkt.tuple = arrival->record.tuple;
+      pkt.gflow = arrival->gflow;
+      pkt.size_bytes = arrival->record.size_bytes;
+      pkt.service = arrival->service;
+      handle_arrival(pkt);
+      arrival = arrivals.next();
+      if (arrival && arrival->gflow < flows_.size()) {
+        __builtin_prefetch(&flows_.at(arrival->gflow), 1);
+      }
+    } else {
+      const Completion c = completions_.pop();
+      if (epochs) emit_epochs_until(c.time);
+      now_ = c.time;
+      handle_completion(c.core);
+    }
+  }
+
+  TimeNs busy_total = 0;
+  for (const CoreState& core : cores_) busy_total += core.busy_total;
+
+  RunEnd end;
+  end.horizon = horizon;
+  end.end = now_ > horizon ? now_ : horizon;
+  end.busy_total = busy_total;
+  end.extra = scheduler_.extra_stats();
+  if (config_.restore_order) {
+    end.extra["rob_max_occupancy"] =
+        static_cast<double>(rob_.max_occupancy());
+    end.extra["rob_buffered_packets"] =
+        static_cast<double>(rob_.buffered_total());
+    end.extra["rob_mean_held_us"] =
+        rob_.buffered_total() > 0
+            ? to_us(rob_.total_held_ns()) /
+                  static_cast<double>(rob_.buffered_total())
+            : 0.0;
+    end.extra["rob_released_packets"] =
+        static_cast<double>(rob_.released_total());
+    end.extra["rob_stranded_packets"] =
+        static_cast<double>(rob_.occupancy());
+  }
+  for_probes([&](SimProbe& p) { p.on_run_end(end); });
+  scheduler_.set_event_sink(nullptr);
+}
+
+void SimEngine::handle_arrival(SimPacket pkt) {
+  flows_.ensure(pkt.gflow);
+  pkt.seq = flows_.ingress_seq(pkt.gflow)++;
+
+  for_probes([&](SimProbe& p) { p.on_arrival(now_, pkt); });
+
+  const CoreId target = scheduler_.schedule(pkt, *this);
+  if (target >= cores_.size()) {
+    throw std::logic_error("scheduler returned invalid core id");
+  }
+
+  CoreState& core = cores_[target];
+  CoreView& view = views_[target];
+  if (view.queue_len >= config_.queue_capacity) {
+    for_probes([&](SimProbe& p) { p.on_drop(now_, pkt, target); });
+    if (config_.restore_order) {
+      // The egress buffer must not wait for a packet that will never
+      // complete; the drop may release held successors.
+      rob_.on_drop(pkt.gflow, pkt.seq, now_);
+    }
+    return;
+  }
+
+  // Flow-migration accounting at dispatch (Fig. 9c counts migrations, i.e.
+  // consecutive packets of a flow sent to different cores). 0 = no
+  // previous core (the lane stores core id + 1).
+  std::uint32_t& prev = flows_.last_assigned_plus1(pkt.gflow);
+  const bool migrated = prev != 0 && prev != target + 1;
+  prev = target + 1;
+  for_probes([&](SimProbe& p) { p.on_dispatch(now_, pkt, target, migrated); });
+
+  core.queue.push_back(pkt);
+  ++view.queue_len;
+  view.idle_since = -1;
+  if (!view.busy) start_service(target);
+}
+
+void SimEngine::start_service(CoreId core_id) {
+  CoreState& core = cores_[core_id];
+  CoreView& view = views_[core_id];
+  if (core.queue.empty()) throw std::logic_error("start_service: empty queue");
+
+  core.in_service = core.queue.front();
+  core.queue.pop_front();
+  --view.queue_len;
+
+  const SimPacket& pkt = core.in_service;
+  std::uint32_t& last_proc = flows_.last_proc_plus1(pkt.gflow);
+  const bool migrated = last_proc != 0 && last_proc != core_id + 1;
+  const bool cold =
+      core.last_service >= 0 &&
+      core.last_service != static_cast<std::int32_t>(pkt.service);
+  last_proc = core_id + 1;
+  core.last_service = static_cast<std::int32_t>(pkt.service);
+  view.busy = true;
+
+  const TimeNs delay =
+      config_.delay.packet_delay(pkt.service, pkt.size_bytes, migrated, cold);
+  core.busy_total += delay;
+  completions_.push(Completion{now_ + delay, core_id});
+  for_probes([&](SimProbe& p) {
+    p.on_service_start(now_, pkt, core_id, delay, migrated, cold);
+  });
+}
+
+void SimEngine::handle_completion(CoreId core_id) {
+  CoreState& core = cores_[core_id];
+  CoreView& view = views_[core_id];
+  const SimPacket& pkt = core.in_service;
+
+  std::uint32_t new_ooo = 0;
+  if (config_.restore_order) {
+    // The wire sees the ReorderBuffer's output, which is ordered by
+    // construction; still run the detector over released packets so a
+    // buffer bug would surface as nonzero out_of_order.
+    for (const ReorderBuffer::Released& rel :
+         rob_.on_complete(pkt.gflow, pkt.seq, now_)) {
+      std::uint32_t& hi = flows_.egress_hi(rel.gflow);
+      if (rel.seq + 1 < hi) {
+        ++new_ooo;
+      } else {
+        hi = rel.seq + 1;
+      }
+    }
+  } else {
+    // Out-of-order detection: a departure below the per-flow high-water
+    // mark means a later-arriving packet of the same flow already left.
+    std::uint32_t& hi = flows_.egress_hi(pkt.gflow);
+    if (pkt.seq + 1 < hi) {
+      ++new_ooo;
+    } else {
+      hi = pkt.seq + 1;
+    }
+  }
+  for_probes([&](SimProbe& p) {
+    p.on_departure(now_, pkt, core_id, new_ooo);
+  });
+
+  view.busy = false;
+  if (!core.queue.empty()) {
+    start_service(core_id);
+  } else {
+    view.idle_since = now_;
+  }
+}
+
+}  // namespace laps

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/event_heap.h"
+#include "sim/packet.h"
+#include "sim/probe.h"
+#include "sim/reorder_buffer.h"
+#include "sim/ring_queue.h"
+#include "sim/scheduler.h"
+#include "traffic/generator.h"
+#include "traffic/workload.h"
+
+namespace laps {
+
+/// Static configuration of the simulation kernel (paper Sec. II and IV-C:
+/// Frame Manager feeding per-core input queues of 32 descriptors).
+struct SimEngineConfig {
+  std::size_t num_cores = 16;
+  std::uint32_t queue_capacity = 32;
+  DelayModel delay;
+  /// If true, completions pass through an egress ReorderBuffer that
+  /// restores per-flow order (the Shi et al. [35] alternative). The wire
+  /// output is then perfectly ordered (`out_of_order` counts released
+  /// packets, i.e. 0) and the buffer's cost shows up in the report's
+  /// `rob_*` extra fields.
+  bool restore_order = false;
+  /// When positive, probes receive on_epoch at every multiple of this
+  /// simulated-time interval (queue-depth sampling for time series).
+  /// Epochs never alter the simulated physics.
+  TimeNs epoch_ns = 0;
+};
+
+/// Per-flow simulator state packed into a single block: four 4-byte lanes
+/// (ingress seq, egress high-water, last assigned core, last processing
+/// core) in one contiguous allocation, indexed by the dense global flow id.
+/// The lanes of one flow are *interleaved* — a 16-byte record per flow —
+/// because the kernel touches three of the four on every packet: with flow
+/// populations in the hundreds of thousands the state does not fit in L2,
+/// and one cache line per flow beats the three or four that per-lane arrays
+/// (the seed Npu's layout) cost.
+class FlowBlock {
+ public:
+  /// One flow's record. alignas(16) keeps records from straddling cache
+  /// lines (4 records per 64-byte line, exactly), so the packet lifecycle
+  /// pays at most one miss for all four lanes. Core lanes hold core id +
+  /// 1, with 0 meaning "no previous core": the empty record is all-zeros,
+  /// so growing the block is a zero-fill plus one memcpy — no scalar
+  /// initialization pass over multi-megabyte flow populations.
+  struct alignas(16) Record {
+    std::uint32_t ingress_seq = 0;
+    std::uint32_t egress_hi = 0;
+    std::uint32_t last_assigned_plus1 = 0;
+    std::uint32_t last_proc_plus1 = 0;
+  };
+
+  std::size_t size() const { return size_; }
+
+  /// Grows (geometrically) so `gflow` is a valid index. New entries start
+  /// as seq 0 / high-water 0 / no previous core.
+  void ensure(std::uint32_t gflow) {
+    if (gflow < size_) return;
+    grow(static_cast<std::size_t>(gflow) + 1);
+  }
+
+  Record& at(std::uint32_t f) { return block_[f]; }
+
+  std::uint32_t& ingress_seq(std::uint32_t f) { return block_[f].ingress_seq; }
+  std::uint32_t& egress_hi(std::uint32_t f) { return block_[f].egress_hi; }
+  std::uint32_t& last_assigned_plus1(std::uint32_t f) {
+    return block_[f].last_assigned_plus1;
+  }
+  std::uint32_t& last_proc_plus1(std::uint32_t f) {
+    return block_[f].last_proc_plus1;
+  }
+
+ private:
+  void grow(std::size_t need);
+
+  std::vector<Record> block_;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// The simulation kernel: a flat, allocation-free discrete-event loop over
+/// ring-buffer core queues, with all measurement externalized to SimProbe
+/// hooks (see probe.h).
+///
+/// Physics are identical to the seed Npu (same event ordering, same Eq. 3
+/// delay charging, same drop/reorder accounting) — the golden determinism
+/// suite asserts byte-identical reports. What changed is structure:
+///
+///  - per-core input queues are fixed-capacity RingQueues (no deque chunk
+///    allocation on the fast path);
+///  - per-flow state lives in one FlowBlock struct-of-arrays allocation;
+///  - simulator-private per-core state (in-service packet, busy time,
+///    I-cache service) is hard-separated from the scheduler-observable
+///    CoreView, so schedulers structurally cannot read it;
+///  - nothing is measured inline: probes observe arrivals, dispatches,
+///    drops, service spans, departures, epochs, and scheduler-internal
+///    events. With no probes attached the kernel does no reporting work at
+///    all (the perf_kernel baseline).
+///
+/// Per arriving packet: the scheduler under test picks a core; if that
+/// core's input queue is full the packet is dropped (Sec. IV-C2), otherwise
+/// it is enqueued. Cores serve their queue FIFO, one packet at a time, with
+/// the per-packet delay of Eq. 3. After the generator horizon, queued
+/// packets are drained to completion, so offered == delivered + dropped
+/// holds exactly for every run. One engine instance runs once.
+class SimEngine final : public NpuView, public SchedEventSink {
+ public:
+  SimEngine(SimEngineConfig config, Scheduler& scheduler,
+            ProbeSet probes = {});
+
+  /// Runs the full simulation. `scenario` is a label passed to probes.
+  /// Results are whatever the attached probes collected (e.g.
+  /// ReportProbe::report()).
+  void run(ArrivalStream& arrivals, const std::string& scenario);
+
+  // NpuView (what the scheduler is allowed to observe):
+  TimeNs now() const override { return now_; }
+  std::span<const CoreView> cores() const override {
+    return {views_.data(), views_.size()};
+  }
+  std::uint32_t queue_capacity() const override {
+    return config_.queue_capacity;
+  }
+
+  // SchedEventSink: timestamps scheduler-internal events with the
+  // simulated clock and fans them out to the probes.
+  void sched_event(const SchedEvent& event) override;
+
+ private:
+  /// Simulator-private per-core state. Schedulers never see this struct;
+  /// they get the CoreView span only.
+  struct CoreState {
+    explicit CoreState(std::uint32_t queue_capacity)
+        : queue(queue_capacity) {}
+    RingQueue<SimPacket> queue;
+    SimPacket in_service;
+    TimeNs busy_total = 0;
+    std::int32_t last_service = -1;  ///< I-cache contents (CC_penalty)
+  };
+
+  struct Completion {
+    TimeNs time;
+    CoreId core;
+  };
+
+  void handle_arrival(SimPacket pkt);
+  void handle_completion(CoreId core);
+  void start_service(CoreId core);
+  void emit_epochs_until(TimeNs t);
+
+  template <typename Fn>
+  void for_probes(Fn&& fn) {
+    for (SimProbe* probe : probes_.probes()) fn(*probe);
+  }
+
+  SimEngineConfig config_;
+  Scheduler& scheduler_;
+  ProbeSet probes_;
+  TimeNs now_ = 0;
+  TimeNs next_epoch_ = 0;
+  std::vector<CoreState> cores_;
+  std::vector<CoreView> views_;
+  EventHeap<Completion> completions_;
+  FlowBlock flows_;
+  ReorderBuffer rob_;  // used only when config_.restore_order
+};
+
+}  // namespace laps

@@ -43,7 +43,10 @@ class EventHeap {
   Ev pop() {
     if (heap_.empty()) throw std::logic_error("EventHeap: pop on empty");
     Ev out = std::move(heap_.front().event);
-    heap_.front() = std::move(heap_.back());
+    // Guard the single-node case: moving back() onto front() would be a
+    // self-move-assignment, which may leave the node in a valueless state
+    // before pop_back() destroys it (UB for some Ev payloads).
+    if (heap_.size() > 1) heap_.front() = std::move(heap_.back());
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
     return out;

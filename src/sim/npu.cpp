@@ -26,18 +26,18 @@ void Npu::ensure_flow(std::uint32_t gflow) {
   }
 }
 
-SimReport Npu::run(PacketGenerator& generator, const std::string& scenario) {
+SimReport Npu::run(ArrivalStream& arrivals, const std::string& scenario) {
   SimReport report;
   report.scheduler = scheduler_.name();
   report.scenario = scenario;
   scheduler_.attach(config_.num_cores);
 
   // Pre-size per-flow arrays when the generator knows its population.
-  ensure_flow(generator.total_flows() > 0
-                  ? static_cast<std::uint32_t>(generator.total_flows() - 1)
+  ensure_flow(arrivals.total_flows() > 0
+                  ? static_cast<std::uint32_t>(arrivals.total_flows() - 1)
                   : 0);
 
-  auto arrival = generator.next();
+  auto arrival = arrivals.next();
   TimeNs horizon = 0;
 
   while (arrival || !completions_.empty()) {
@@ -55,7 +55,7 @@ SimReport Npu::run(PacketGenerator& generator, const std::string& scenario) {
       pkt.size_bytes = arrival->record.size_bytes;
       pkt.service = arrival->service;
       handle_arrival(pkt, report);
-      arrival = generator.next();
+      arrival = arrivals.next();
     } else {
       const Completion c = completions_.pop();
       now_ = c.time;
@@ -144,12 +144,12 @@ void Npu::start_service(CoreId core_id, SimReport& report) {
       last_proc_core_[pkt.gflow] >= 0 &&
       static_cast<CoreId>(last_proc_core_[pkt.gflow]) != core_id;
   const bool cold =
-      view.last_service >= 0 &&
-      view.last_service != static_cast<int>(pkt.service);
+      core.last_service >= 0 &&
+      core.last_service != static_cast<int>(pkt.service);
   if (migrated) ++report.fm_penalties;
   if (cold) ++report.cold_cache_events;
   last_proc_core_[pkt.gflow] = static_cast<std::int32_t>(core_id);
-  view.last_service = static_cast<int>(pkt.service);
+  core.last_service = static_cast<int>(pkt.service);
   view.busy = true;
 
   const TimeNs delay =

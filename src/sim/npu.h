@@ -32,6 +32,13 @@ struct NpuConfig {
 
 /// Discrete-event model of the NPU fast path (paper Fig. 6).
 ///
+/// This is the seed (pre-SimEngine) kernel, retained verbatim as the
+/// reference implementation: the golden determinism suite asserts that the
+/// refactored SimEngine + ReportProbe pipeline reproduces this class's
+/// SimReport byte-for-byte, and bench/perf_kernel measures the engine's
+/// speedup against it. New code should use SimEngine (sim/engine.h) via
+/// run_scenario(); do not grow this class.
+///
 /// Per arriving packet: the scheduler under test picks a core; if that
 /// core's input queue is full the packet is dropped (Sec. IV-C2), otherwise
 /// it is enqueued. Cores serve their queue FIFO, one packet at a time, with
@@ -49,7 +56,7 @@ class Npu final : public NpuView {
 
   /// Runs the full simulation and returns the report. `scenario` is a label
   /// for the report only.
-  SimReport run(PacketGenerator& generator, const std::string& scenario);
+  SimReport run(ArrivalStream& arrivals, const std::string& scenario);
 
   // NpuView (what the scheduler is allowed to observe):
   TimeNs now() const override { return now_; }
@@ -65,6 +72,10 @@ class Npu final : public NpuView {
     std::deque<SimPacket> queue;
     SimPacket in_service;
     TimeNs busy_total = 0;
+    /// Service of the most recently started packet (I-cache contents, for
+    /// CC_penalty), or -1. Simulator-private: schedulers only ever see the
+    /// CoreView span, which deliberately omits it.
+    int last_service = -1;
   };
 
   struct Completion {

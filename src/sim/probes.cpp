@@ -1,0 +1,316 @@
+#include "sim/probes.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "traffic/workload.h"
+#include "util/json_writer.h"
+
+namespace laps {
+
+namespace {
+
+void write_file(const std::string& path, const std::string& doc,
+                const char* what) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error(std::string("cannot open ") + what + " path: " +
+                             path);
+  }
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.flush();
+  if (!out) {
+    throw std::runtime_error(std::string("failed writing ") + what + ": " +
+                             path);
+  }
+}
+
+}  // namespace
+
+const char* SchedEvent::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kCoreGrant: return "core_grant";
+    case Kind::kCoreDenied: return "core_denied";
+    case Kind::kAggressiveMigration: return "aggressive_migration";
+    case Kind::kAfdPromotion: return "afd_promotion";
+    case Kind::kPark: return "park";
+    case Kind::kWake: return "wake";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ ReportProbe ---
+
+void ReportProbe::on_run_begin(const RunInfo& info) {
+  report_ = SimReport{};
+  report_.scheduler = info.scheduler;
+  report_.scenario = info.scenario;
+  num_cores_ = info.num_cores;
+}
+
+void ReportProbe::on_arrival(TimeNs, const SimPacket& pkt) {
+  ++report_.offered;
+  ++report_.offered_by_service[static_cast<std::size_t>(pkt.service)];
+}
+
+void ReportProbe::on_drop(TimeNs, const SimPacket& pkt, CoreId) {
+  ++report_.dropped;
+  ++report_.dropped_by_service[static_cast<std::size_t>(pkt.service)];
+}
+
+void ReportProbe::on_dispatch(TimeNs, const SimPacket&, CoreId,
+                              bool migrated) {
+  if (migrated) ++report_.flow_migrations;
+}
+
+void ReportProbe::on_service_start(TimeNs, const SimPacket&, CoreId, TimeNs,
+                                   bool fm_penalty, bool cold_cache) {
+  if (fm_penalty) ++report_.fm_penalties;
+  if (cold_cache) ++report_.cold_cache_events;
+}
+
+void ReportProbe::on_departure(TimeNs now, const SimPacket& pkt, CoreId,
+                               std::uint32_t new_ooo) {
+  ++report_.delivered;
+  report_.latency_ns.record(now - pkt.arrival);
+  report_.out_of_order += new_ooo;
+}
+
+void ReportProbe::on_run_end(const RunEnd& end) {
+  report_.sim_time = end.horizon;
+  // Identical arithmetic to the seed Npu::run epilogue, so the derived
+  // double is bit-equal and the JSON bytes match.
+  report_.mean_core_utilization =
+      end.end > 0 ? static_cast<double>(end.busy_total) /
+                        (static_cast<double>(end.end) *
+                         static_cast<double>(num_cores_))
+                  : 0.0;
+  report_.extra = end.extra;
+}
+
+// -------------------------------------------------------- TimeSeriesProbe ---
+
+TimeSeriesProbe::TimeSeriesProbe(TimeNs window_ns) : window_ns_(window_ns) {
+  if (window_ns <= 0) {
+    throw std::invalid_argument("TimeSeriesProbe: window must be positive");
+  }
+}
+
+TimeSeriesProbe::Window& TimeSeriesProbe::window_at(TimeNs now) {
+  const std::size_t index =
+      static_cast<std::size_t>(now / window_ns_);
+  if (index >= windows_.size()) windows_.resize(index + 1);
+  return windows_[index];
+}
+
+void TimeSeriesProbe::on_run_begin(const RunInfo& info) {
+  info_ = info;
+  windows_.clear();
+}
+
+void TimeSeriesProbe::on_arrival(TimeNs now, const SimPacket&) {
+  ++window_at(now).arrivals;
+}
+
+void TimeSeriesProbe::on_drop(TimeNs now, const SimPacket&, CoreId) {
+  ++window_at(now).drops;
+}
+
+void TimeSeriesProbe::on_dispatch(TimeNs now, const SimPacket&, CoreId,
+                                  bool migrated) {
+  Window& w = window_at(now);
+  ++w.dispatches;
+  if (migrated) ++w.migrations;
+}
+
+void TimeSeriesProbe::on_departure(TimeNs now, const SimPacket&, CoreId,
+                                   std::uint32_t new_ooo) {
+  Window& w = window_at(now);
+  ++w.departures;
+  w.out_of_order += new_ooo;
+}
+
+void TimeSeriesProbe::on_epoch(TimeNs now, std::span<const CoreView> cores) {
+  // The epoch at boundary time B carries the queue state just before B and
+  // closes window [B - window, B).
+  if (now < window_ns_ || cores.empty()) return;
+  Window& w = windows_[static_cast<std::size_t>(now / window_ns_) - 1];
+  std::uint64_t total = 0;
+  std::uint32_t max = 0;
+  for (const CoreView& v : cores) {
+    total += v.queue_len;
+    if (v.queue_len > max) max = v.queue_len;
+  }
+  w.queue_depth_mean =
+      static_cast<double>(total) / static_cast<double>(cores.size());
+  w.queue_depth_max = max;
+}
+
+void TimeSeriesProbe::on_sched_event(TimeNs now, const SchedEvent& event) {
+  Window& w = window_at(now);
+  switch (event.kind) {
+    case SchedEvent::Kind::kCoreGrant: ++w.core_grants; break;
+    case SchedEvent::Kind::kPark: ++w.parks; break;
+    case SchedEvent::Kind::kWake: ++w.wakes; break;
+    case SchedEvent::Kind::kAfdPromotion: ++w.afd_promotions; break;
+    case SchedEvent::Kind::kCoreDenied:
+    case SchedEvent::Kind::kAggressiveMigration:
+      break;  // visible in the migrations column via on_dispatch
+  }
+}
+
+void TimeSeriesProbe::on_run_end(const RunEnd& end) {
+  // Materialize every window up to the drain end, so quiet tails are
+  // explicit zero rows rather than missing ones.
+  if (end.end > 0) window_at(end.end);
+}
+
+std::string TimeSeriesProbe::to_json() const {
+  // Same envelope as exp/harness artifact_json (schema laps-bench-v1), with
+  // the series as the single table: existing artifact tooling parses it.
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "laps-bench-v1");
+  w.field("tool", "timeseries");
+  w.field("scenario", info_.scenario);
+  w.field("scheduler", info_.scheduler);
+  w.field("window_us", to_us(window_ns_));
+  w.key("reports");
+  w.begin_array();
+  w.end_array();
+  w.key("tables");
+  w.begin_array();
+  w.begin_object();
+  w.field("title", "timeseries");
+  static const char* const kHeaders[] = {
+      "t_us",       "arrivals",    "dispatches",  "drops",
+      "departures", "migrations",  "ooo",         "qdepth_mean",
+      "qdepth_max", "core_grants", "parks",       "wakes",
+      "afd_promotions"};
+  w.key("headers");
+  w.begin_array();
+  for (const char* h : kHeaders) w.value(h);
+  w.end_array();
+  w.key("rows");
+  w.begin_array();
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const Window& win = windows_[i];
+    w.begin_array();
+    w.value(to_us(static_cast<TimeNs>(i) * window_ns_));
+    w.value(win.arrivals);
+    w.value(win.dispatches);
+    w.value(win.drops);
+    w.value(win.departures);
+    w.value(win.migrations);
+    w.value(win.out_of_order);
+    w.value(win.queue_depth_mean);
+    w.value(win.queue_depth_max);
+    w.value(win.core_grants);
+    w.value(win.parks);
+    w.value(win.wakes);
+    w.value(win.afd_promotions);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+void TimeSeriesProbe::write(const std::string& path) const {
+  write_file(path, to_json(), "time-series artifact");
+}
+
+// ------------------------------------------------------- ChromeTraceProbe ---
+
+void ChromeTraceProbe::on_run_begin(const RunInfo& info) {
+  info_ = info;
+  events_.clear();
+}
+
+void ChromeTraceProbe::on_drop(TimeNs now, const SimPacket& pkt,
+                               CoreId core) {
+  events_.push_back(Event{'i', now, 0, core, "drop",
+                          "{\"flow\":" + std::to_string(pkt.gflow) +
+                              ",\"seq\":" + std::to_string(pkt.seq) + "}"});
+}
+
+void ChromeTraceProbe::on_service_start(TimeNs now, const SimPacket& pkt,
+                                        CoreId core, TimeNs delay,
+                                        bool fm_penalty, bool cold_cache) {
+  std::string args = "{\"flow\":" + std::to_string(pkt.gflow) +
+                     ",\"seq\":" + std::to_string(pkt.seq);
+  if (fm_penalty) args += ",\"fm_penalty\":true";
+  if (cold_cache) args += ",\"cold_cache\":true";
+  args += "}";
+  events_.push_back(Event{'X', now, delay, core, service_name(pkt.service),
+                          std::move(args)});
+}
+
+void ChromeTraceProbe::on_sched_event(TimeNs now, const SchedEvent& event) {
+  std::string args = "{";
+  if (event.core >= 0) args += "\"core\":" + std::to_string(event.core);
+  if (event.service >= 0) {
+    if (args.size() > 1) args += ",";
+    args += "\"service\":" + std::to_string(event.service);
+  }
+  if (event.flow_key != 0) {
+    if (args.size() > 1) args += ",";
+    args += "\"flow_key\":" + std::to_string(event.flow_key);
+  }
+  args += "}";
+  // Scheduler decisions render on a dedicated row below the core rows.
+  events_.push_back(Event{'i', now, 0,
+                          static_cast<std::uint32_t>(info_.num_cores),
+                          SchedEvent::kind_name(event.kind),
+                          std::move(args)});
+}
+
+std::string ChromeTraceProbe::to_json() const {
+  // Hand-assembled (not JsonWriter) because trace viewers want the compact
+  // one-event-per-line form, and args are pre-rendered fragments.
+  std::string out;
+  out.reserve(events_.size() * 96 + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto append = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  // Metadata: name the process and one row per core plus the scheduler row.
+  append("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{"
+         "\"name\":" +
+         JsonWriter::quote(info_.scenario + " / " + info_.scheduler) + "}}");
+  for (std::size_t c = 0; c <= info_.num_cores; ++c) {
+    const std::string label =
+        c < info_.num_cores ? "core " + std::to_string(c) : "scheduler";
+    append("{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(c) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+           JsonWriter::quote(label) + "}}");
+  }
+  for (const Event& e : events_) {
+    std::string line = "{\"ph\":\"";
+    line += e.phase;
+    line += "\",\"pid\":0,\"tid\":" + std::to_string(e.tid) +
+            ",\"ts\":" + std::to_string(to_us(e.start));
+    if (e.phase == 'X') {
+      line += ",\"dur\":" + std::to_string(to_us(e.duration));
+    } else {
+      line += ",\"s\":\"t\"";
+    }
+    line += ",\"name\":" + JsonWriter::quote(e.name);
+    if (!e.args_json.empty()) line += ",\"args\":" + e.args_json;
+    line += "}";
+    append(line);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void ChromeTraceProbe::write(const std::string& path) const {
+  write_file(path, to_json(), "chrome trace");
+}
+
+}  // namespace laps

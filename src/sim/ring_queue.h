@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace laps {
+
+/// Fixed-capacity FIFO ring buffer — the SimEngine's per-core input queue.
+///
+/// The simulated hardware queue is 32 descriptors (paper Sec. IV-C); a
+/// pre-sized ring keeps every enqueue/dequeue allocation-free and the whole
+/// queue in two cache lines, where std::deque pays chunk indirection and
+/// heap traffic. Capacity is fixed at construction and may be any positive
+/// value (no power-of-two requirement); wraparound uses a compare-and-reset
+/// instead of a modulo so non-power-of-two capacities stay division-free.
+template <typename T>
+class RingQueue {
+ public:
+  explicit RingQueue(std::uint32_t capacity) : slots_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingQueue: 0 capacity");
+  }
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  std::uint32_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == capacity(); }
+
+  /// Appends a copy of `value`. The queue must not be full.
+  void push_back(const T& value) {
+    if (full()) throw std::logic_error("RingQueue: push on full");
+    slots_[tail_] = value;
+    tail_ = next(tail_);
+    ++count_;
+  }
+
+  /// Oldest element. The queue must not be empty.
+  const T& front() const {
+    if (empty()) throw std::logic_error("RingQueue: front on empty");
+    return slots_[head_];
+  }
+
+  /// Removes the oldest element. The queue must not be empty.
+  void pop_front() {
+    if (empty()) throw std::logic_error("RingQueue: pop on empty");
+    head_ = next(head_);
+    --count_;
+  }
+
+  void clear() {
+    head_ = tail_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::uint32_t next(std::uint32_t i) const {
+    const std::uint32_t n = i + 1;
+    return n == capacity() ? 0 : n;
+  }
+
+  std::vector<T> slots_;
+  std::uint32_t head_ = 0;
+  std::uint32_t tail_ = 0;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace laps

@@ -2,9 +2,13 @@
 
 #include <stdexcept>
 
+#include "sim/probes.h"
+
 namespace laps {
 
-SimReport run_scenario(const ScenarioConfig& config, Scheduler& scheduler) {
+namespace {
+
+PacketGenerator make_generator(const ScenarioConfig& config) {
   if (config.services.empty()) {
     throw std::invalid_argument("run_scenario: no services");
   }
@@ -12,7 +16,38 @@ SimReport run_scenario(const ScenarioConfig& config, Scheduler& scheduler) {
     if (!s.trace) throw std::invalid_argument("run_scenario: null trace");
     s.trace->reset();
   }
-  PacketGenerator generator(config.services, config.seed, config.seconds);
+  return PacketGenerator(config.services, config.seed, config.seconds);
+}
+
+}  // namespace
+
+SimReport run_scenario(const ScenarioConfig& config, Scheduler& scheduler) {
+  return run_scenario(config, scheduler, ProbeSet{});
+}
+
+SimReport run_scenario(const ScenarioConfig& config, Scheduler& scheduler,
+                       const ProbeSet& extra_probes, TimeNs epoch_ns) {
+  PacketGenerator generator = make_generator(config);
+  SimEngineConfig engine_config;
+  engine_config.num_cores = config.num_cores;
+  engine_config.queue_capacity = config.queue_capacity;
+  engine_config.delay = config.delay;
+  engine_config.restore_order = config.restore_order;
+  engine_config.epoch_ns = epoch_ns;
+
+  ReportProbe report;
+  ProbeSet probes;
+  probes.add(&report);
+  for (SimProbe* p : extra_probes.probes()) probes.add(p);
+
+  SimEngine engine(engine_config, scheduler, probes);
+  engine.run(generator, config.name);
+  return report.take_report();
+}
+
+SimReport run_scenario_reference(const ScenarioConfig& config,
+                                 Scheduler& scheduler) {
+  PacketGenerator generator = make_generator(config);
   NpuConfig npu_config;
   npu_config.num_cores = config.num_cores;
   npu_config.queue_capacity = config.queue_capacity;

@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine.h"
 #include "sim/npu.h"
+#include "sim/probe.h"
 #include "sim/report.h"
 #include "sim/scheduler.h"
 #include "traffic/generator.h"
@@ -22,15 +24,30 @@ struct ScenarioConfig {
   std::uint64_t seed = 42;
   DelayModel delay;
   /// Route completions through an egress ReorderBuffer (order restoration
-  /// instead of order preservation; see NpuConfig::restore_order).
+  /// instead of order preservation; see SimEngineConfig::restore_order).
   bool restore_order = false;
   std::vector<ServiceTraffic> services;
 };
 
-/// Builds the generator and NPU for `config`, runs `scheduler` through it,
-/// and returns the report. Traces inside `config.services` are reset first
-/// so the same ScenarioConfig can be reused across schedulers (the paper
-/// compares FCFS/AFS/LAPS on identical traffic).
+/// Builds the generator and SimEngine for `config`, runs `scheduler`
+/// through it with a ReportProbe attached, and returns the report. Traces
+/// inside `config.services` are reset first so the same ScenarioConfig can
+/// be reused across schedulers (the paper compares FCFS/AFS/LAPS on
+/// identical traffic).
 SimReport run_scenario(const ScenarioConfig& config, Scheduler& scheduler);
+
+/// Like run_scenario, but fans events out to `extra_probes` (time series,
+/// chrome traces, ...) alongside the ReportProbe. `epoch_ns` > 0 enables
+/// on_epoch callbacks at that simulated-time interval (align it with a
+/// TimeSeriesProbe's window).
+SimReport run_scenario(const ScenarioConfig& config, Scheduler& scheduler,
+                       const ProbeSet& extra_probes, TimeNs epoch_ns = 0);
+
+/// Runs `config` through the retained seed kernel (Npu) instead of the
+/// SimEngine. Exists for differential testing — the golden suite asserts
+/// run_scenario and run_scenario_reference produce byte-identical report
+/// JSON — and for the perf_kernel speedup baseline. Not for new callers.
+SimReport run_scenario_reference(const ScenarioConfig& config,
+                                 Scheduler& scheduler);
 
 }  // namespace laps

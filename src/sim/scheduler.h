@@ -15,6 +15,11 @@ using CoreId = std::uint32_t;
 
 /// Per-core state a hardware scheduler can observe: the input-queue
 /// occupancy counters and idle timers the Frame Manager maintains.
+///
+/// This struct is the *entire* scheduler-observable surface. Anything the
+/// simulator knows beyond it (in-service packet, I-cache contents, busy-time
+/// accounting) lives in the engine's private per-core state, so no scheduler
+/// can depend on simulator internals by construction.
 struct CoreView {
   /// Packets waiting in the input queue (excluding the one in service).
   std::uint32_t queue_len = 0;
@@ -24,11 +29,6 @@ struct CoreView {
   /// service); -1 while the core has work. Drives the paper's idle_th
   /// surplus-marking timer (Sec. III-D).
   TimeNs idle_since = -1;
-  /// Service of the most recently started packet on this core, or -1 if
-  /// none yet. The simulator uses it to charge CC_penalty; schedulers must
-  /// NOT read it (a real FM does not know core I-cache contents) — it is
-  /// here because CoreView doubles as the simulator's per-core record.
-  int last_service = -1;
 };
 
 /// Read-only view of the NPU the scheduler consults per packet.
@@ -52,6 +52,37 @@ class NpuView {
   }
 };
 
+/// One scheduler-internal decision, reported through the observability
+/// sink so probes see *when* reallocations and migrations happen instead of
+/// only end-of-run extra_stats() totals.
+struct SchedEvent {
+  enum class Kind : std::uint8_t {
+    kCoreGrant,            ///< a core was reallocated to `service`
+    kCoreDenied,           ///< a core request found no surplus donor
+    kAggressiveMigration,  ///< an AFC-hit flow was pinned to a new core
+    kAfdPromotion,         ///< a flow was promoted from annex cache to AFC
+    kPark,                 ///< power gating put a core to sleep
+    kWake,                 ///< a parked core was powered back up
+  };
+
+  Kind kind = Kind::kCoreGrant;
+  std::int32_t core = -1;      ///< core involved, or -1 when not applicable
+  std::int32_t service = -1;   ///< service involved, or -1
+  std::uint64_t flow_key = 0;  ///< flow key for migrations/promotions, else 0
+
+  /// Short display label ("core_grant", "park", ...).
+  static const char* kind_name(Kind kind);
+};
+
+/// Receives scheduler-internal events. The simulation engine installs
+/// itself as the sink before attach() and timestamps each event with the
+/// simulated clock before fanning it out to the attached probes.
+class SchedEventSink {
+ public:
+  virtual ~SchedEventSink() = default;
+  virtual void sched_event(const SchedEvent& event) = 0;
+};
+
 /// Packet scheduler interface — the decision logic in the Frame Manager
 /// (paper Fig. 1/3). One call per arriving packet; the returned core's input
 /// queue receives the descriptor (the simulator drops the packet if that
@@ -72,6 +103,12 @@ class Scheduler {
   /// Scheduler-internal counters for reports (e.g. LAPS core
   /// reallocations, AFD promotions). Keys become report columns.
   virtual std::map<std::string, double> extra_stats() const { return {}; }
+
+  /// Installs (or clears, with nullptr) the observability sink. Called by
+  /// the engine before attach(). Schedulers with internal decisions worth
+  /// tracing (LAPS reallocations, park/wake) emit through it; the default
+  /// ignores the sink, so simple baselines need no changes.
+  virtual void set_event_sink(SchedEventSink* sink) { (void)sink; }
 };
 
 }  // namespace laps

@@ -34,11 +34,13 @@ PacketGenerator::PacketGenerator(std::vector<ServiceTraffic> services,
         /*bound_mpps=*/0.0,
         /*gflow_offset=*/0,
         /*exhausted=*/false,
+        /*has_hint=*/false,
         /*dynamic_ids=*/{},
     };
     s.bound_mpps = s.curve.rate_bound_mpps(horizon_seconds);
     s.gflow_offset = offset;
     const std::size_t hint = s.traffic.trace->flow_count_hint();
+    s.has_hint = hint > 0;
     offset += static_cast<std::uint32_t>(hint);
     services_.push_back(std::move(s));
     advance(services_.back());
@@ -70,7 +72,7 @@ void PacketGenerator::advance(PerService& s) {
 
 std::uint32_t PacketGenerator::global_flow(PerService& s,
                                            std::uint32_t local_id) {
-  if (s.traffic.trace->flow_count_hint() > 0) {
+  if (s.has_hint) {
     return s.gflow_offset + local_id;
   }
   const auto [it, inserted] = s.dynamic_ids.emplace(local_id, dynamic_next_);
@@ -79,6 +81,13 @@ std::uint32_t PacketGenerator::global_flow(PerService& s,
     ++total_flows_;
   }
   return it->second;
+}
+
+ReplayStream ReplayStream::record(ArrivalStream& source) {
+  ReplayStream replay;
+  while (auto pkt = source.next()) replay.packets_.push_back(*pkt);
+  replay.total_flows_ = source.total_flows();
+  return replay;
 }
 
 std::optional<GeneratedPacket> PacketGenerator::next() {

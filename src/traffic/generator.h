@@ -37,10 +37,26 @@ struct ServiceTraffic {
 /// each arrival's header is the next record of that service's trace —
 /// "the use of real network traces ensures that realistic flow scenarios
 /// are created" (Sec. IV-C1). Finite traces wrap around.
+/// What the simulation kernels consume: a time-ordered arrival sequence.
+/// PacketGenerator produces it online; ReplayStream serves a pre-recorded
+/// one (generation cost paid once, e.g. for kernel microbenchmarks or for
+/// running several schedulers over byte-identical traffic).
+class ArrivalStream {
+ public:
+  virtual ~ArrivalStream() = default;
+
+  /// Next packet in nondecreasing time order, or nullopt at end of stream.
+  virtual std::optional<GeneratedPacket> next() = 0;
+
+  /// Total distinct global flow ids the stream can emit (for pre-sizing
+  /// per-flow arrays); 0 = unknown.
+  virtual std::size_t total_flows() const = 0;
+};
+
 ///
 /// Packets are emitted in nondecreasing global time order. Deterministic
 /// for a fixed (services, seed) pair.
-class PacketGenerator {
+class PacketGenerator final : public ArrivalStream {
  public:
   /// `horizon_seconds` bounds generation (packets after the horizon are not
   /// produced) and is also used to bound the thinning envelope.
@@ -49,11 +65,11 @@ class PacketGenerator {
 
   /// Next packet across all services, or nullopt once every service has
   /// passed the horizon.
-  std::optional<GeneratedPacket> next();
+  std::optional<GeneratedPacket> next() override;
 
   /// Total distinct global flow ids this generator can emit (for sizing
   /// per-flow arrays). Exact when every trace reports a hint.
-  std::size_t total_flows() const { return total_flows_; }
+  std::size_t total_flows() const override { return total_flows_; }
 
   /// Number of services.
   std::size_t num_services() const { return services_.size(); }
@@ -67,6 +83,9 @@ class PacketGenerator {
     double bound_mpps = 0.0;    // thinning envelope
     std::uint32_t gflow_offset = 0;
     bool exhausted = false;
+    // Cached trace->flow_count_hint() > 0: global_flow runs per packet and
+    // must not pay a virtual call to re-learn a static property.
+    bool has_hint = false;
     // Fallback mapping for traces without a flow-count hint.
     std::unordered_map<std::uint32_t, std::uint32_t> dynamic_ids;
   };
@@ -78,6 +97,30 @@ class PacketGenerator {
   double horizon_s_;
   std::size_t total_flows_ = 0;
   std::uint32_t dynamic_next_ = 0;  // shared id pool for hint-less traces
+};
+
+/// A pre-materialized arrival sequence. `record` drains a generator into a
+/// contiguous buffer; `rewind` makes the same traffic replayable any number
+/// of times. Kernel microbenchmarks use this to time the simulator without
+/// the (dominant) cost of online generation in the loop.
+class ReplayStream final : public ArrivalStream {
+ public:
+  /// Drains `source` to exhaustion.
+  static ReplayStream record(ArrivalStream& source);
+
+  std::optional<GeneratedPacket> next() override {
+    if (pos_ >= packets_.size()) return std::nullopt;
+    return packets_[pos_++];
+  }
+  std::size_t total_flows() const override { return total_flows_; }
+
+  void rewind() { pos_ = 0; }
+  std::size_t size() const { return packets_.size(); }
+
+ private:
+  std::vector<GeneratedPacket> packets_;
+  std::size_t total_flows_ = 0;
+  std::size_t pos_ = 0;
 };
 
 /// Computes the mean offered load of `services` relative to the ideal
