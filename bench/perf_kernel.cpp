@@ -1,7 +1,7 @@
 // perf_kernel: packets-per-second of the simulation kernel itself.
 //
 // Traffic is generated ONCE into a ReplayStream, then replayed through
-// three kernels, so the (dominant) cost of online packet generation is out
+// five kernels, so the (dominant) cost of online packet generation is out
 // of the timed loop and the numbers compare pure kernel throughput:
 //
 //   npu            the retained seed kernel (std::deque queues, per-flow
@@ -10,6 +10,13 @@
 //                  discrete-event loop, nothing measured
 //   engine+report  the SimEngine with a ReportProbe, i.e. exactly what
 //                  run_scenario does for every bench and test
+//   engine+audit   the SimEngine with a FlowAuditProbe — exact per-flow
+//                  statistics in the open-addressed audit table; its
+//                  overhead over bare engine is the price of per-flow
+//                  attribution (--flow-audit), gated at <= 15% by
+//                  scripts/compare_bench.py
+//   engine+flight  the SimEngine with a FlightRecorderProbe — the
+//                  always-on postmortem ring (--flight-recorder)
 //
 // A deliberately trivial scheduler (gflow mod cores) keeps scheduling cost
 // out of the measurement, so the comparison isolates queue structure,
@@ -36,6 +43,8 @@
 
 #include "exp/harness.h"
 #include "sim/engine.h"
+#include "sim/flight_recorder.h"
+#include "sim/flow_audit.h"
 #include "sim/probes.h"
 #include "sim/report_json.h"
 #include "sim/runner.h"
@@ -109,8 +118,10 @@ int run(Flags& flags) {
   SimEngineConfig eng_cfg;
   eng_cfg.num_cores = cores;
 
-  Measurement npu{"npu"}, engine{"engine"}, engine_report{"engine+report"};
-  npu.packets = engine.packets = engine_report.packets = replay.size();
+  Measurement npu{"npu"}, engine{"engine"}, engine_report{"engine+report"},
+      engine_audit{"engine+audit"}, engine_flight{"engine+flight"};
+  npu.packets = engine.packets = engine_report.packets =
+      engine_audit.packets = engine_flight.packets = replay.size();
   SimReport check_npu, check_engine;
 
   const auto time_npu = [&]() {
@@ -123,32 +134,52 @@ int run(Flags& flags) {
     check_npu = std::move(rep);
     return s;
   };
-  const auto time_engine = [&](bool with_report) {
+  /// Times one engine pass with `probe` attached (nullptr = bare engine).
+  const auto time_engine_probe = [&](SimProbe* probe) {
     ModuloScheduler sched;
     replay.rewind();
-    ReportProbe probe;
     ProbeSet probes;
-    if (with_report) probes.add(&probe);
+    probes.add(probe);
     SimEngine kernel(eng_cfg, sched, probes);
     const auto t0 = std::chrono::steady_clock::now();
     kernel.run(replay, "perf_kernel");
-    const double s = seconds_since(t0);
-    if (with_report) check_engine = probe.take_report();
+    return seconds_since(t0);
+  };
+  const auto time_engine = [&]() { return time_engine_probe(nullptr); };
+  const auto time_report = [&]() {
+    ReportProbe probe;
+    const double s = time_engine_probe(&probe);
+    check_engine = probe.take_report();
     return s;
   };
+  // Reused across reps so the event log keeps its steady-state pages — the
+  // measured cost is the probe's per-event price, not the allocator warming
+  // 32 MiB of fresh pages every rep. Aggregation into the audit table is
+  // deferred to artifact time by design, so it is rightly outside the
+  // kernel row (see FlowAuditProbe docs).
+  FlowAuditProbe audit_probe;
+  const auto time_audit = [&]() { return time_engine_probe(&audit_probe); };
+  const auto time_flight = [&]() {
+    FlightRecorderProbe probe;  // default ring; dump is never written here
+    return time_engine_probe(&probe);
+  };
 
-  // One warm-up pass, then `reps` interleaved passes (noise hits all three
+  // One warm-up pass, then `reps` interleaved passes (noise hits all five
   // kernels alike); best-of wins.
   time_npu();
-  time_engine(false);
-  time_engine(true);
+  time_engine();
+  time_report();
+  time_audit();
+  time_flight();
+  const auto keep_best = [](Measurement& m, double s, int r) {
+    if (r == 0 || s < m.best_seconds) m.best_seconds = s;
+  };
   for (int r = 0; r < reps; ++r) {
-    const double n = time_npu();
-    const double e = time_engine(false);
-    const double p = time_engine(true);
-    if (r == 0 || n < npu.best_seconds) npu.best_seconds = n;
-    if (r == 0 || e < engine.best_seconds) engine.best_seconds = e;
-    if (r == 0 || p < engine_report.best_seconds) engine_report.best_seconds = p;
+    keep_best(npu, time_npu(), r);
+    keep_best(engine, time_engine(), r);
+    keep_best(engine_report, time_report(), r);
+    keep_best(engine_audit, time_audit(), r);
+    keep_best(engine_flight, time_flight(), r);
   }
 
   // The two reporting kernels must agree exactly — this bench doubles as a
@@ -158,14 +189,19 @@ int run(Flags& flags) {
   }
 
   const double speedup = npu.best_seconds / engine.best_seconds;
-  const double probe_overhead =
-      engine_report.best_seconds / engine.best_seconds - 1.0;
+  const auto overhead_vs_engine = [&](const Measurement& m) {
+    return m.best_seconds / engine.best_seconds - 1.0;
+  };
+  const double probe_overhead = overhead_vs_engine(engine_report);
+  const double audit_overhead = overhead_vs_engine(engine_audit);
+  const double flight_overhead = overhead_vs_engine(engine_flight);
 
   std::printf("=== Kernel throughput: %llu replayed packets/run, %zu cores, "
               "best of %d ===\n\n",
               static_cast<unsigned long long>(npu.packets), cores, reps);
   Table out({"kernel", "wall ms", "Mpps", "vs npu"});
-  for (const Measurement* m : {&npu, &engine, &engine_report}) {
+  for (const Measurement* m : {&npu, &engine, &engine_report, &engine_audit,
+                               &engine_flight}) {
     out.add_row({m->variant, Table::num(m->best_seconds * 1e3, 2),
                  Table::num(m->mpps(), 2),
                  Table::num(npu.best_seconds / m->best_seconds, 2) + "x"});
@@ -174,6 +210,10 @@ int run(Flags& flags) {
   std::printf("engine speedup over npu (null probes): %.2fx\n", speedup);
   std::printf("ReportProbe overhead over null probes: %.1f%%\n",
               probe_overhead * 100.0);
+  std::printf("FlowAuditProbe overhead over null probes: %.1f%%\n",
+              audit_overhead * 100.0);
+  std::printf("FlightRecorderProbe overhead over null probes: %.1f%%\n",
+              flight_overhead * 100.0);
 
   if (!harness.json_path.empty()) {
     JsonWriter w;
@@ -184,7 +224,8 @@ int run(Flags& flags) {
     w.field("reps", static_cast<std::int64_t>(reps));
     w.key("kernels");
     w.begin_array();
-    for (const Measurement* m : {&npu, &engine, &engine_report}) {
+    for (const Measurement* m : {&npu, &engine, &engine_report, &engine_audit,
+                                 &engine_flight}) {
       w.begin_object();
       w.field("name", m->variant);
       w.field("best_seconds", m->best_seconds);
@@ -194,6 +235,8 @@ int run(Flags& flags) {
     w.end_array();
     w.field("engine_speedup_vs_npu", speedup);
     w.field("report_probe_overhead", probe_overhead);
+    w.field("audit_probe_overhead", audit_overhead);
+    w.field("flight_probe_overhead", flight_overhead);
     w.end_object();
     const std::string doc = w.str() + "\n";
     std::FILE* f = std::fopen(harness.json_path.c_str(), "wb");

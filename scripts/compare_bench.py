@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_kernel run against the committed baseline.
+
+Usage:
+    perf_kernel --seconds=0.02 --reps=5 --json=fresh.json
+    scripts/compare_bench.py fresh.json [--baseline BENCH_kernel.json]
+                             [--threshold 0.15]
+
+Exits non-zero when any kernel present in both documents regressed by more
+than --threshold in mpps, or when the fresh run's FlowAuditProbe overhead
+exceeds the audit budget (the tentpole's <= 15% acceptance bar). Kernels
+only present on one side are reported but never fail the gate, so adding a
+bench row does not require regenerating the baseline in the same change.
+
+The default threshold is deliberately loose (15%): shared CI runners are
+noisy, and this gate exists to catch structural regressions (an accidental
+O(n) scan on the fast path, a probe hook gone virtual-and-cold), not
+single-digit jitter.
+"""
+
+import argparse
+import json
+import sys
+
+AUDIT_BUDGET = 0.15  # acceptance bar for FlowAuditProbe overhead
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != "laps-perf-v1":
+        sys.exit(f"{path}: expected schema laps-perf-v1, got {schema!r}")
+    kernels = {k["name"]: k for k in doc.get("kernels", [])}
+    if not kernels:
+        sys.exit(f"{path}: no kernels in document")
+    return doc, kernels
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="perf_kernel JSON from the current build")
+    ap.add_argument("--baseline", default="BENCH_kernel.json",
+                    help="committed reference JSON (default: %(default)s)")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max tolerated mpps regression (default: %(default)s)")
+    args = ap.parse_args()
+
+    fresh_doc, fresh = load(args.fresh)
+    _, base = load(args.baseline)
+
+    failures = []
+    print(f"{'kernel':<16} {'baseline':>10} {'fresh':>10} {'delta':>8}")
+    for name in base:
+        if name not in fresh:
+            print(f"{name:<16} {base[name]['mpps']:>10.3f} {'absent':>10}"
+                  f" {'--':>8}  (not gated)")
+            continue
+        b, f = base[name]["mpps"], fresh[name]["mpps"]
+        delta = (f - b) / b
+        verdict = ""
+        if delta < -args.threshold:
+            verdict = "  REGRESSION"
+            failures.append(
+                f"{name}: {b:.3f} -> {f:.3f} mpps "
+                f"({delta:+.1%}, threshold -{args.threshold:.0%})")
+        print(f"{name:<16} {b:>10.3f} {f:>10.3f} {delta:>+8.1%}{verdict}")
+    for name in fresh:
+        if name not in base:
+            print(f"{name:<16} {'absent':>10} {fresh[name]['mpps']:>10.3f}"
+                  f" {'--':>8}  (not gated)")
+
+    audit = fresh_doc.get("audit_probe_overhead")
+    if audit is not None:
+        ok = audit <= AUDIT_BUDGET
+        print(f"audit_probe_overhead: {audit:.1%} "
+              f"(budget {AUDIT_BUDGET:.0%}) {'ok' if ok else 'OVER BUDGET'}")
+        if not ok:
+            failures.append(
+                f"audit_probe_overhead {audit:.1%} exceeds the "
+                f"{AUDIT_BUDGET:.0%} budget")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nOK: no kernel regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -337,6 +337,10 @@ CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
   return target;
 }
 
+std::vector<std::uint64_t> LapsScheduler::aggressive_snapshot() const {
+  return afd_->aggressive_flows();
+}
+
 std::map<std::string, double> LapsScheduler::extra_stats() const {
   const AfdStats& afd_stats = afd_->stats();
   TimeNs parked = parked_total_ns_;

@@ -117,6 +117,13 @@ class LapsScheduler final : public Scheduler {
   /// they happen (the extra_stats() totals only say how many, not when).
   void set_event_sink(SchedEventSink* sink) override { sink_ = sink; }
 
+  /// Live AFC contents, most-frequent first — the Fig. 8 methodology run
+  /// *inside* a simulation: accuracy probes score this snapshot against
+  /// exact per-flow counts at every epoch. Afd::aggressive_flows() is a
+  /// read-only hardware-style lookup, so sampling never perturbs the
+  /// detector.
+  std::vector<std::uint64_t> aggressive_snapshot() const override;
+
   // Introspection for tests.
   const CoreAllocator& allocator() const { return *allocator_; }
   const MapTable& map_table(std::size_t service) const {

@@ -1,11 +1,15 @@
 #include "exp/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
 
+#include "sim/afd_accuracy.h"
+#include "sim/flight_recorder.h"
+#include "sim/flow_audit.h"
 #include "sim/probes.h"
 #include "sim/report_json.h"
 #include "util/thread_pool.h"
@@ -25,6 +29,49 @@ HarnessOptions parse_harness_flags(Flags& flags) {
     throw std::invalid_argument("--timeseries-window-us must be > 0");
   }
   opts.trace_path = flags.get_string("trace-out", "");
+
+  opts.flow_audit_path = flags.get_string("flow-audit", "");
+  const std::int64_t audit_top = flags.get_int("flow-audit-top", 16);
+  if (audit_top < 1) throw std::invalid_argument("--flow-audit-top must be >= 1");
+  opts.flow_audit_top = static_cast<std::size_t>(audit_top);
+  const std::int64_t audit_rows = flags.get_int("flow-audit-rows", 256);
+  if (audit_rows < 0) {
+    throw std::invalid_argument("--flow-audit-rows must be >= 0");
+  }
+  opts.flow_audit_rows = static_cast<std::size_t>(audit_rows);
+
+  opts.afd_accuracy_path = flags.get_string("afd-accuracy", "");
+  const std::int64_t acc_k = flags.get_int("afd-accuracy-k", 16);
+  if (acc_k < 1) throw std::invalid_argument("--afd-accuracy-k must be >= 1");
+  opts.afd_accuracy_k = static_cast<std::size_t>(acc_k);
+  opts.afd_accuracy_window_us =
+      flags.get_double("afd-accuracy-window-us", opts.afd_accuracy_window_us);
+  if (opts.afd_accuracy_window_us <= 0) {
+    throw std::invalid_argument("--afd-accuracy-window-us must be > 0");
+  }
+
+  opts.flight_path = flags.get_string("flight-recorder", "");
+  const std::int64_t flight_cap = flags.get_int("flight-capacity", 4096);
+  if (flight_cap < 1) {
+    throw std::invalid_argument("--flight-capacity must be >= 1");
+  }
+  opts.flight_capacity = static_cast<std::size_t>(flight_cap);
+  const std::int64_t storm = flags.get_int("flight-drop-storm", 64);
+  if (storm < 0) throw std::invalid_argument("--flight-drop-storm must be >= 0");
+  opts.flight_drop_storm = static_cast<std::uint64_t>(storm);
+  const std::int64_t spike = flags.get_int("flight-ooo-spike", 256);
+  if (spike < 0) throw std::invalid_argument("--flight-ooo-spike must be >= 0");
+  opts.flight_ooo_spike = static_cast<std::uint64_t>(spike);
+  opts.flight_window_us =
+      flags.get_double("flight-window-us", opts.flight_window_us);
+  if (opts.flight_window_us <= 0) {
+    throw std::invalid_argument("--flight-window-us must be > 0");
+  }
+  opts.flight_dump = flags.get_bool("flight-dump", false);
+  if (opts.flight_dump && opts.flight_path.empty()) {
+    throw std::invalid_argument(
+        "--flight-dump requires --flight-recorder=PATH");
+  }
   return opts;
 }
 
@@ -48,24 +95,61 @@ std::string per_run_path(const std::string& stem, const std::string& scenario,
 
 }  // namespace
 
+namespace {
+
+bool any_probe_configured(const HarnessOptions& opts) {
+  return !opts.timeseries_path.empty() || !opts.trace_path.empty() ||
+         !opts.flow_audit_path.empty() || !opts.afd_accuracy_path.empty() ||
+         !opts.flight_path.empty();
+}
+
+}  // namespace
+
 SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
                        const HarnessOptions& opts) {
-  if (opts.timeseries_path.empty() && opts.trace_path.empty()) {
+  if (!any_probe_configured(opts)) {
     return run_scenario(config, scheduler);
   }
-  const TimeNs window = from_us(opts.timeseries_window_us);
   std::optional<TimeSeriesProbe> series;
   std::optional<ChromeTraceProbe> trace;
+  std::optional<FlowAuditProbe> audit;
+  std::optional<AfdAccuracyProbe> accuracy;
+  std::optional<FlightRecorderProbe> flight;
   ProbeSet extra;
   TimeNs epoch_ns = 0;
   if (!opts.timeseries_path.empty()) {
-    series.emplace(window);
+    series.emplace(from_us(opts.timeseries_window_us));
     extra.add(&*series);
-    epoch_ns = window;  // queue-depth windows need periodic CoreView epochs
+    epoch_ns = series->window_ns();  // queue-depth sampling needs epochs
   }
   if (!opts.trace_path.empty()) {
     trace.emplace();
     extra.add(&*trace);
+  }
+  if (!opts.flow_audit_path.empty()) {
+    FlowAuditProbe::Options audit_opts;
+    audit_opts.top_k = opts.flow_audit_top;
+    audit_opts.max_rows = opts.flow_audit_rows;
+    audit.emplace(audit_opts);
+    extra.add(&*audit);
+  }
+  if (!opts.afd_accuracy_path.empty()) {
+    accuracy.emplace(scheduler, opts.afd_accuracy_k);
+    extra.add(&*accuracy);
+    // The engine has a single epoch cadence; when a time series is also
+    // requested its window drives the epochs and the accuracy probe
+    // samples at that rate instead of its own flag.
+    if (epoch_ns == 0) epoch_ns = from_us(opts.afd_accuracy_window_us);
+  }
+  if (!opts.flight_path.empty()) {
+    FlightRecorderConfig flight_cfg;
+    flight_cfg.capacity = opts.flight_capacity;
+    flight_cfg.drop_storm = opts.flight_drop_storm;
+    flight_cfg.ooo_spike = opts.flight_ooo_spike;
+    flight_cfg.window_ns = from_us(opts.flight_window_us);
+    flight_cfg.always_dump = opts.flight_dump;
+    flight.emplace(flight_cfg);
+    extra.add(&*flight);
   }
   // Probes attach before the run so the scheduler name reflects the instance
   // actually used (grid jobs construct schedulers per job).
@@ -82,11 +166,37 @@ SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
     trace->write(path);
     std::fprintf(stderr, "wrote chrome trace: %s\n", path.c_str());
   }
+  if (audit) {
+    const std::string path = per_run_path(opts.flow_audit_path, config.name,
+                                          scheduler.name(), config.seed);
+    audit->write(path);
+    std::fprintf(stderr, "wrote flow audit: %s (%zu flows, %zu rows)\n",
+                 path.c_str(), audit->table().size(),
+                 opts.flow_audit_rows == 0
+                     ? audit->table().size()
+                     : std::min(opts.flow_audit_rows, audit->table().size()));
+  }
+  if (accuracy) {
+    const std::string path = per_run_path(opts.afd_accuracy_path, config.name,
+                                          scheduler.name(), config.seed);
+    accuracy->write(path);
+    std::fprintf(stderr, "wrote AFD accuracy series: %s (%zu samples)\n",
+                 path.c_str(), accuracy->samples().size());
+  }
+  if (flight && flight->should_dump()) {
+    const std::string path = per_run_path(opts.flight_path, config.name,
+                                          scheduler.name(), config.seed);
+    flight->write(path);
+    std::fprintf(stderr, "wrote flight recording: %s (%zu events%s%s)\n",
+                 path.c_str(), flight->num_events(),
+                 flight->triggered() ? ", trigger: " : "",
+                 flight->triggered() ? flight->trigger_reason().c_str() : "");
+  }
   return report;
 }
 
 ExperimentPlan::JobRunner observed_runner(const HarnessOptions& opts) {
-  if (opts.timeseries_path.empty() && opts.trace_path.empty()) return {};
+  if (!any_probe_configured(opts)) return {};
   return [opts](const ScenarioConfig& config, Scheduler& scheduler) {
     return run_observed(config, scheduler, opts);
   };

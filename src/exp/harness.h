@@ -19,6 +19,20 @@ struct HarnessOptions {
   std::string timeseries_path;         ///< empty = no TimeSeriesProbe
   double timeseries_window_us = 100.0; ///< window/epoch width
   std::string trace_path;              ///< empty = no ChromeTraceProbe
+  // Flow-audit observability (see sim/flow_audit.h, sim/afd_accuracy.h,
+  // sim/flight_recorder.h).
+  std::string flow_audit_path;         ///< empty = no FlowAuditProbe
+  std::size_t flow_audit_top = 16;     ///< attribution k
+  std::size_t flow_audit_rows = 256;   ///< per-flow rows in artifact; 0 = all
+  std::string afd_accuracy_path;       ///< empty = no AfdAccuracyProbe
+  std::size_t afd_accuracy_k = 16;     ///< ground-truth top-k
+  double afd_accuracy_window_us = 100.0;  ///< sampling epoch width
+  std::string flight_path;             ///< empty = no FlightRecorderProbe
+  std::size_t flight_capacity = 4096;  ///< event-ring size
+  std::uint64_t flight_drop_storm = 64;    ///< drops/window trigger; 0 = off
+  std::uint64_t flight_ooo_spike = 256;    ///< OOO/window trigger; 0 = off
+  double flight_window_us = 100.0;     ///< anomaly-counting window
+  bool flight_dump = false;            ///< dump even without an anomaly
 };
 
 /// Consumes the flags every experiment binary shares:
@@ -27,6 +41,19 @@ struct HarnessOptions {
 ///   --timeseries=P            per-run windowed time-series JSON (stem P)
 ///   --timeseries-window-us=N  series window width (default 100 us)
 ///   --trace-out=P             per-run chrome://tracing JSON (stem P)
+///   --flow-audit=P            per-run per-flow audit JSON (stem P)
+///   --flow-audit-top=K        attribution top-k (default 16)
+///   --flow-audit-rows=N       per-flow rows in the artifact (0 = all)
+///   --afd-accuracy=P          per-run online AFD accuracy series (stem P)
+///   --afd-accuracy-k=K        ground-truth top-k (default 16)
+///   --afd-accuracy-window-us=N  sampling interval (default 100 us)
+///   --flight-recorder=P       per-run flight-recorder dump (stem P);
+///                             written only on anomaly or --flight-dump
+///   --flight-capacity=N       event-ring size (default 4096)
+///   --flight-drop-storm=N     drops/window that trigger a dump (0 = off)
+///   --flight-ooo-spike=N      OOO/window that trigger a dump (0 = off)
+///   --flight-window-us=N      anomaly window width (default 100 us)
+///   --flight-dump             dump the ring even without an anomaly
 /// Call before flags.finish().
 HarnessOptions parse_harness_flags(Flags& flags);
 

@@ -1,0 +1,140 @@
+#include "sim/afd_accuracy.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/json_writer.h"
+
+namespace laps {
+
+AfdAccuracyProbe::AfdAccuracyProbe(const Scheduler& scheduler, std::size_t k)
+    : scheduler_(&scheduler), k_(k) {
+  if (k == 0) throw std::invalid_argument("AfdAccuracyProbe: k must be >= 1");
+}
+
+void AfdAccuracyProbe::on_run_begin(const RunInfo& info) {
+  info_ = info;
+  truth_.reset();
+  samples_.clear();
+}
+
+void AfdAccuracyProbe::on_arrival(TimeNs, const SimPacket& pkt) {
+  truth_.access(pkt.flow_key());
+}
+
+void AfdAccuracyProbe::on_epoch(TimeNs now, std::span<const CoreView>) {
+  sample_now(now);
+}
+
+void AfdAccuracyProbe::on_run_end(const RunEnd& end) {
+  // Always close with a sample at the drain end: short runs (or runs
+  // without epochs) still report final accuracy, and the last row scores
+  // the AFC against the full run's ground truth — the offline fig8 number.
+  sample_now(end.end);
+}
+
+void AfdAccuracyProbe::sample_now(TimeNs now) {
+  Sample s;
+  s.t = now;
+  s.distinct_flows = truth_.distinct();
+  if (s.distinct_flows == 0) {
+    samples_.push_back(s);
+    return;
+  }
+
+  const std::vector<std::uint64_t> claimed = scheduler_->aggressive_snapshot();
+  const std::vector<std::uint64_t> top = truth_.top_k(k_);
+  const std::unordered_set<std::uint64_t> top_set(top.begin(), top.end());
+
+  s.claimed = claimed.size();
+  std::uint64_t claimed_mass = 0;
+  for (const std::uint64_t key : claimed) {
+    if (top_set.count(key)) {
+      ++s.true_positives;
+      claimed_mass += truth_.count(key);
+    } else {
+      ++s.false_positives;
+    }
+  }
+  std::uint64_t top_mass = 0;
+  for (const std::uint64_t key : top) top_mass += truth_.count(key);
+
+  // Denominator is min(k, distinct): with fewer flows than k in existence a
+  // perfect detector must still score recall 1.0, not distinct/k.
+  const std::size_t denom = std::min(k_, s.distinct_flows);
+  if (s.claimed > 0) {
+    s.precision = static_cast<double>(s.true_positives) /
+                  static_cast<double>(s.claimed);
+  }
+  if (denom > 0) {
+    s.recall = static_cast<double>(s.true_positives) /
+               static_cast<double>(denom);
+  }
+  if (top_mass > 0) {
+    s.weighted_recall = static_cast<double>(claimed_mass) /
+                        static_cast<double>(top_mass);
+  }
+  samples_.push_back(s);
+}
+
+std::string AfdAccuracyProbe::to_json() const {
+  // Same envelope as exp/harness artifact_json (schema laps-bench-v1).
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "laps-bench-v1");
+  w.field("tool", "afd_accuracy");
+  w.field("scenario", info_.scenario);
+  w.field("scheduler", info_.scheduler);
+  w.field("k", static_cast<std::uint64_t>(k_));
+  w.key("reports");
+  w.begin_array();
+  w.end_array();
+  w.key("tables");
+  w.begin_array();
+  w.begin_object();
+  w.field("title", "afd_accuracy");
+  static const char* const kHeaders[] = {
+      "t_us",      "claimed", "true_pos",        "false_pos",
+      "precision", "recall",  "weighted_recall", "distinct_flows"};
+  w.key("headers");
+  w.begin_array();
+  for (const char* h : kHeaders) w.value(h);
+  w.end_array();
+  w.key("rows");
+  w.begin_array();
+  for (const Sample& s : samples_) {
+    w.begin_array();
+    w.value(to_us(s.t));
+    w.value(static_cast<std::uint64_t>(s.claimed));
+    w.value(static_cast<std::uint64_t>(s.true_positives));
+    w.value(static_cast<std::uint64_t>(s.false_positives));
+    w.value(s.precision);
+    w.value(s.recall);
+    w.value(s.weighted_recall);
+    w.value(static_cast<std::uint64_t>(s.distinct_flows));
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+void AfdAccuracyProbe::write(const std::string& path) const {
+  const std::string doc = to_json();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open afd-accuracy artifact path: " +
+                             path);
+  }
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("failed writing afd-accuracy artifact: " + path);
+  }
+}
+
+}  // namespace laps

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/topk.h"
+#include "sim/probe.h"
+
+namespace laps {
+
+/// Online AFD accuracy: scores the scheduler's live aggressive-flow set
+/// (Scheduler::aggressive_snapshot — the AFC contents for LAPS) against
+/// exact per-flow packet counts at every epoch boundary, streaming the
+/// Fig. 8 methodology through a running simulation instead of an offline
+/// key replay.
+///
+/// Per sample: precision (1 − the paper's false-positive ratio), recall
+/// against the exact top-k at that instant, and weighted recall (packet
+/// mass of the claimed ∩ true top-k over the packet mass of the true
+/// top-k — misses on rank-16 mice cost less than misses on rank-1
+/// elephants). A final sample is always taken at run end, so short runs
+/// without epochs still produce one row.
+///
+/// Requires SimEngineConfig::epoch_ns > 0 for the time series (the harness
+/// sets it from the accuracy window flag). The snapshot call is read-only
+/// by contract, so sampling never perturbs the detector under test.
+class AfdAccuracyProbe final : public SimProbe {
+ public:
+  /// `scheduler` must outlive the probe. `k` is the ground-truth top-k the
+  /// claims are scored against (the paper fixes 16, the AFC size).
+  AfdAccuracyProbe(const Scheduler& scheduler, std::size_t k = 16);
+
+  void on_run_begin(const RunInfo& info) override;
+  void on_arrival(TimeNs now, const SimPacket& pkt) override;
+  void on_epoch(TimeNs now, std::span<const CoreView> cores) override;
+  void on_run_end(const RunEnd& end) override;
+
+  /// One accuracy measurement at simulated time `t`.
+  struct Sample {
+    TimeNs t = 0;
+    std::size_t claimed = 0;          ///< flows the scheduler called aggressive
+    std::size_t true_positives = 0;
+    std::size_t false_positives = 0;
+    std::size_t distinct_flows = 0;   ///< flows seen so far (truth size)
+    double precision = 0.0;           ///< TP / claimed (1 − FPR); 0 if none
+    double recall = 0.0;              ///< TP / min(k, distinct)
+    double weighted_recall = 0.0;     ///< packet-mass recall over true top-k
+  };
+
+  std::size_t k() const { return k_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+  const ExactTopK& truth() const { return truth_; }
+
+  /// Full laps-bench-v1 document (one table titled "afd_accuracy").
+  std::string to_json() const;
+  /// Writes to_json() to `path`. Throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  void sample_now(TimeNs now);
+
+  const Scheduler* scheduler_;
+  std::size_t k_;
+  RunInfo info_;
+  ExactTopK truth_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace laps

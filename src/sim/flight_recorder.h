@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/probe.h"
+
+namespace laps {
+
+/// Flight-recorder configuration. Thresholds are counted per fixed
+/// simulated-time window; a window that reaches a threshold trips the
+/// recorder (once per run, first trigger wins).
+struct FlightRecorderConfig {
+  /// Ring capacity in events. After a trigger the recorder keeps running
+  /// for capacity/2 more events and then freezes, so the dump holds
+  /// roughly half a ring of lead-up and half of aftermath.
+  std::size_t capacity = 4096;
+  /// Drops within one window that count as a drop storm. 0 disables.
+  std::uint64_t drop_storm = 64;
+  /// OOO departures within one window that count as an OOO spike.
+  /// 0 disables.
+  std::uint64_t ooo_spike = 256;
+  /// Width of the anomaly-counting window.
+  TimeNs window_ns = from_us(100.0);
+  /// Dump even when no anomaly triggered (--flight-dump): turns the
+  /// recorder into a cheap "last N events" trace of any run.
+  bool always_dump = false;
+};
+
+/// Fixed-capacity ring of the most recent probe events, dumped as a Chrome
+/// trace-event JSON on anomaly triggers — the postmortem value of a full
+/// ChromeTraceProbe without its unbounded memory cost.
+///
+/// Recorded events (chosen for postmortem signal per byte): drops, service
+/// spans (with FM/cold-cache penalty flags), OOO departures, and
+/// scheduler-internal decisions. Clean departures and plain dispatches are
+/// not recorded — they dominate event volume and say nothing about an
+/// anomaly.
+///
+/// Triggers: a drop storm (>= drop_storm drops within one window) or an
+/// OOO spike (>= ooo_spike OOO departures within one window). On trigger
+/// the recorder notes the reason and time, records capacity/2 further
+/// events, then freezes the ring, so the dump brackets the anomaly instead
+/// of being overwritten by the aftermath.
+class FlightRecorderProbe final : public SimProbe {
+ public:
+  explicit FlightRecorderProbe(FlightRecorderConfig config = {});
+
+  void on_run_begin(const RunInfo& info) override;
+  void on_drop(TimeNs now, const SimPacket& pkt, CoreId core) override;
+  void on_service_start(TimeNs now, const SimPacket& pkt, CoreId core,
+                        TimeNs delay, bool fm_penalty,
+                        bool cold_cache) override;
+  void on_departure(TimeNs now, const SimPacket& pkt, CoreId core,
+                    std::uint32_t new_ooo) override;
+  void on_sched_event(TimeNs now, const SchedEvent& event) override;
+
+  bool triggered() const { return triggered_; }
+  /// "drop_storm", "ooo_spike", or "" when nothing triggered.
+  const std::string& trigger_reason() const { return reason_; }
+  TimeNs trigger_time() const { return trigger_time_; }
+  /// True when the harness should write the dump (triggered or
+  /// always_dump).
+  bool should_dump() const { return triggered_ || config_.always_dump; }
+
+  /// Events currently held (<= capacity).
+  std::size_t num_events() const;
+
+  /// The {"traceEvents": [...]} document (oldest event first), with
+  /// trigger metadata in the process name.
+  std::string to_json() const;
+  /// Writes to_json() to `path`. Throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  enum class Type : std::uint8_t { kDrop, kService, kOoo, kSched };
+
+  /// One ring slot: 32 bytes, no heap — recording must stay cheap enough
+  /// to leave on during long runs.
+  struct Event {
+    TimeNs t = 0;
+    TimeNs duration = 0;         // service spans only
+    std::uint64_t flow_key = 0;  // sched events: SchedEvent::flow_key
+    std::uint32_t a = 0;         // seq | ooo count | sched core+1
+    std::uint16_t tid = 0;       // core row, or the scheduler row
+    std::uint8_t flags = 0;      // service: bit0 fm, bit1 cold; sched: kind
+    Type type = Type::kDrop;
+  };
+
+  void push(const Event& e);
+  void roll_window(TimeNs now);
+  void trip(const char* reason, TimeNs now);
+
+  FlightRecorderConfig config_;
+  RunInfo info_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;   ///< next write position
+  std::size_t count_ = 0;  ///< events held (saturates at capacity)
+  bool frozen_ = false;
+  std::size_t post_trigger_left_ = 0;
+
+  TimeNs window_index_ = 0;
+  std::uint64_t window_drops_ = 0;
+  std::uint64_t window_ooo_ = 0;
+
+  bool triggered_ = false;
+  std::string reason_;
+  TimeNs trigger_time_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,292 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "sim/probe.h"
+
+namespace laps {
+
+/// Flat open-addressed per-flow statistics table (linear probing, power-of-
+/// two capacity, grown at 7/8 load). Keyed by the 64-bit flow key the
+/// software structures use (FiveTuple::key64), not the dense gflow index, so
+/// rows in the audit artifact are directly comparable with AFC contents,
+/// migration-table pins, and offline trace analysis.
+///
+/// One Entry is a single contiguous record, and the whole table is two
+/// allocations (slots + occupancy stamps) however many flows appear.
+/// Occupancy is epoch-stamped: clear() bumps the epoch instead of zeroing
+/// megabytes of slots, so reusing a grown table across runs is O(1).
+class FlowAuditTable {
+ public:
+  /// Compact per-flow latency histogram: power-of-two buckets of the
+  /// ingress->departure latency. Bucket 0 holds latencies below 512 ns
+  /// (under the minimum service time, only possible for tiny delay models);
+  /// bucket b >= 1 holds [2^(b+8), 2^(b+9)) ns; the last bucket is
+  /// open-ended (~69 s and beyond never happens in practice).
+  static constexpr std::size_t kLatencyBuckets = 28;
+  static constexpr int kLatencyShift = 9;  ///< bucket 0 upper bound: 2^9 ns
+
+  /// One flow's record. The counters live in the first 64 bytes (one cache
+  /// line: every aggregation step touches exactly that line), the latency
+  /// histogram in the lines after it (touched once per departure). Narrow
+  /// u32 lanes for the rare counters keep the counter section in one line;
+  /// 4G drops/migrations per *single flow* is beyond any simulated run, and
+  /// run-level sums are accumulated in u64.
+  struct alignas(64) Entry {
+    std::uint64_t key = 0;            ///< 5-tuple flow key
+    std::uint64_t packets = 0;        ///< arrivals presented to the scheduler
+    std::uint64_t delivered = 0;      ///< completed processing
+    std::int64_t latency_sum = 0;     ///< exact sum over delivered packets
+    std::int64_t latency_max = 0;     ///< exact max
+    std::uint32_t dropped = 0;        ///< lost to full input queues
+    std::uint32_t migrations = 0;     ///< dispatches to a different core
+    std::uint32_t out_of_order = 0;   ///< OOO departures charged to this flow
+    std::uint32_t fm_penalties = 0;   ///< Eq. 3 FM_penalty charges
+    std::uint32_t cold_cache = 0;     ///< Eq. 3 CC_penalty charges
+    /// Dense engine flow index (set by FlowAuditProbe) — lets slot memos be
+    /// rebuilt by scanning the table after a rehash.
+    std::uint32_t gflow = 0;
+    std::array<std::uint32_t, kLatencyBuckets> latency_log2{};
+  };
+
+  FlowAuditTable();
+
+  /// Slot index for `key`, inserted empty on first touch. Slot indices are
+  /// stable until the next rehash or clear — check generation() before
+  /// reusing a cached index.
+  std::size_t find_or_insert_slot(std::uint64_t key);
+
+  /// The slot for `key`, inserted empty on first touch. The reference is
+  /// invalidated by the next insert (growth may rehash).
+  Entry& find_or_insert(std::uint64_t key) {
+    return slots_[find_or_insert_slot(key)];
+  }
+
+  /// Direct slot access for indices from find_or_insert_slot.
+  Entry& slot(std::size_t i) { return slots_[i]; }
+  const Entry& slot(std::size_t i) const { return slots_[i]; }
+
+  /// Slot count (for index-order scans; check live() per slot).
+  std::size_t capacity() const { return slots_.size(); }
+  /// Whether slot i holds a current-epoch record.
+  bool live(std::size_t i) const { return stamp_[i] == epoch_; }
+
+  /// The slot for `key`, or nullptr if the flow was never touched.
+  const Entry* find(std::uint64_t key) const;
+
+  /// Distinct flows in the table.
+  std::size_t size() const { return size_; }
+
+  /// Bumped whenever slot indices move (rehash or clear); callers caching
+  /// slot indices must revalidate against this.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Hints the prefetcher at the probe head for `key` (no-op off GCC/
+  /// clang). Issue ~16 lookups ahead of the matching find_or_insert_slot
+  /// so the slot line is in flight while other work retires.
+  void prefetch_key(std::uint64_t key) const;
+  /// Same for a known slot index (cache-hit path).
+  void prefetch_slot(std::size_t i) const;
+
+  /// Which latency bucket `latency_ns` falls into.
+  static std::size_t latency_bucket(std::int64_t latency_ns);
+  /// Exclusive upper bound of latency bucket `b` in ns (int64 max for the
+  /// open-ended last bucket).
+  static std::int64_t latency_bucket_bound(std::size_t b);
+
+  /// All occupied entries, unordered (table order). For deterministic
+  /// output, callers sort; see FlowAuditProbe::sorted_entries.
+  std::vector<Entry> entries() const;
+
+  void clear();
+
+ private:
+  void grow();
+
+  std::vector<Entry> slots_;
+  /// Slot i is live iff stamp_[i] == epoch_. Epoch 0 is never current, so
+  /// fresh (zero) stamps read as empty; stale slots are lazily reset when
+  /// reclaimed by find_or_insert_slot.
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 1;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Run-level attribution metrics derived from the per-flow table — the
+/// paper's headline claim ("reordering is confined to the handful of
+/// migrated aggressive flows") as numbers a dashboard can alert on.
+struct FlowAuditSummary {
+  std::uint64_t flows = 0;            ///< distinct flows observed
+  std::uint64_t migrated_flows = 0;   ///< flows with >= 1 migration
+  std::uint64_t ooo_flows = 0;        ///< flows with >= 1 OOO departure
+  std::uint64_t ooo_total = 0;        ///< all OOO departures
+  /// OOO departures of flows that migrated at least once / ooo_total.
+  /// LAPS should keep this near 1.0 with few migrated flows; a hash
+  /// scheduler reorders nothing, a naive balancer reorders everywhere.
+  double ooo_migrated_share = 0.0;
+  /// OOO departures absorbed by the top_k flows ranked by migration count
+  /// / ooo_total — the single-number form of Fig. 9b/c: if the k = AFC-size
+  /// most-migrated flows absorb ~all reordering, migration is surgical.
+  double ooo_topk_migrated_share = 0.0;
+  /// Packets of the top_k flows ranked by packet count / total packets
+  /// (heavy-hitter concentration, the premise the AFD relies on).
+  double topk_packet_share = 0.0;
+  std::size_t top_k = 16;             ///< the k used for both shares
+};
+
+/// Exact per-flow accounting of a simulation run: packets, drops,
+/// migrations, OOO departures, penalty charges, and a compact latency
+/// histogram per flow, plus derived attribution metrics. Emits a
+/// laps-bench-v1 artifact whose `flow_audit` table holds the top flows and
+/// whose `flow_audit_summary` table holds the attribution numbers.
+///
+/// Totals across all flows sum exactly to the ReportProbe aggregates of the
+/// same run (asserted by the golden-grid audit test), so per-flow rows can
+/// be trusted as a decomposition of the run report, not a parallel
+/// approximation.
+///
+/// Hot-path design: probe hooks only append fixed 16-byte records to a flat
+/// preallocated log (one raw store and one pointer compare per event, no
+/// random access), so the simulation loop pays nanoseconds per event
+/// regardless of flow population. Arrivals are not logged at all: the
+/// engine follows every arrival with exactly one drop or dispatch, so those
+/// two records carry the per-flow packet count for free.
+/// Aggregation into the open-addressed table is deferred to the first
+/// accessor after the run (artifact-write time) — the same trick tracers
+/// use to keep symbolization off the recorded path — with a bounded log:
+/// past kMaxPending events the log is folded into the table mid-run, so
+/// memory stays O(flows + kMaxPending) for arbitrarily long simulations.
+/// The fold walks the log with software prefetch and a dense gflow -> slot
+/// memo, so even the deferred cost is near memory bandwidth, not latency.
+class FlowAuditProbe final : public SimProbe {
+ public:
+  struct Options {
+    /// k for the attribution shares (default: the paper's AFC size).
+    std::size_t top_k = 16;
+    /// Per-flow rows emitted in the artifact, ranked by packet count
+    /// (descending; ties by key). 0 = all flows. The artifact always
+    /// records how many flows the table actually held, so capping is
+    /// explicit, never silent.
+    std::size_t max_rows = 256;
+  };
+
+  /// Events buffered before a mid-run fold into the table (32 MiB of log).
+  /// Sized so runs up to ~2M probe events — including the perf_kernel
+  /// default of 0.02 simulated seconds — never fold inside the simulation
+  /// loop: the fold then happens once, at artifact-write time, where its
+  /// memory-latency cost belongs. Longer runs amortize periodic folds.
+  static constexpr std::size_t kMaxPending = std::size_t{1} << 21;
+
+  FlowAuditProbe();  ///< default Options
+  explicit FlowAuditProbe(Options options);
+
+  void on_run_begin(const RunInfo& info) override;
+  void on_drop(TimeNs now, const SimPacket& pkt, CoreId core) override;
+  void on_dispatch(TimeNs now, const SimPacket& pkt, CoreId core,
+                   bool migrated) override;
+  void on_service_start(TimeNs now, const SimPacket& pkt, CoreId core,
+                        TimeNs delay, bool fm_penalty,
+                        bool cold_cache) override;
+  void on_departure(TimeNs now, const SimPacket& pkt, CoreId core,
+                    std::uint32_t new_ooo) override;
+  void on_run_end(const RunEnd& end) override;
+
+  /// The aggregated table (folds any pending events first).
+  const FlowAuditTable& table() const {
+    flush_pending();
+    return table_;
+  }
+
+  /// Occupied entries sorted by (packets desc, key asc) — the artifact row
+  /// order, deterministic for identical runs.
+  std::vector<FlowAuditTable::Entry> sorted_entries() const;
+
+  /// Attribution metrics over the full table (never row-capped).
+  FlowAuditSummary summary() const;
+
+  /// Full laps-bench-v1 document (tables `flow_audit` +
+  /// `flow_audit_summary`).
+  std::string to_json() const;
+  /// Writes to_json() to `path`. Throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  enum : std::uint32_t {
+    kEvDispatch = 0,
+    kEvDrop = 1,
+    kEvPenalty = 2,
+    kEvDeparture = 3,
+  };
+
+  /// One logged probe event: 16 bytes, append-only. `tag` packs the event
+  /// type in the low 3 bits and the payload (dispatch migrated flag,
+  /// penalty fm|cold flags, or departure new_ooo) in the rest. `a` is the
+  /// flow key for dispatch-class events and the ingress->departure latency
+  /// for departures — a departure never needs the key, because the flow's
+  /// dispatch necessarily precedes it in the log and leaves its slot in
+  /// the memo.
+  struct alignas(16) Pending {
+    std::uint64_t a;
+    std::uint32_t gflow;
+    std::uint32_t tag;
+  };
+  static_assert(sizeof(Pending) == 16, "Pending must stay a packed 16 bytes");
+
+  /// The whole hot path: one 16-byte store plus one pointer compare. The
+  /// log is preallocated (uninitialized — pages fault in as used), so there
+  /// is no capacity bookkeeping per event the way a vector push would pay.
+  /// On x86 the store is non-temporal: the log is written once and read
+  /// once much later, so letting it through the cache would cost a
+  /// read-for-ownership per line AND evict the simulation's working set —
+  /// write-combining avoids both. flush_pending() fences before reading.
+  void push(std::uint64_t a, std::uint32_t gflow, std::uint32_t tag) {
+#if defined(__SSE2__)
+    const __m128i v = _mm_set_epi64x(
+        static_cast<long long>((static_cast<std::uint64_t>(tag) << 32) |
+                               gflow),
+        static_cast<long long>(a));
+    _mm_stream_si128(reinterpret_cast<__m128i*>(cursor_), v);
+    ++cursor_;
+#else
+    *cursor_++ = Pending{a, gflow, tag};
+#endif
+    if (cursor_ == log_end_) flush_pending();
+  }
+
+  /// Folds the pending log into the table. Idempotent; const because every
+  /// read accessor triggers it (the log and table are mutable caches of the
+  /// same information).
+  void flush_pending() const;
+
+  /// The flow's table entry, via the dense-gflow slot memo: all events for
+  /// a flow after the first resolve its slot with one array index instead
+  /// of a hash probe (the engine hands us the dense index for free).
+  FlowAuditTable::Entry& entry_at(std::uint32_t gflow, std::uint64_t key) const;
+
+  /// Rebuilds the gflow -> slot memo by scanning the table (called after a
+  /// rehash or clear moved every slot).
+  void resync_memo() const;
+
+  Options options_;
+  RunInfo info_;
+  mutable FlowAuditTable table_;
+  /// Fixed event log of kMaxPending records; cursor_ is the next write.
+  mutable std::unique_ptr<Pending[]> log_;
+  mutable Pending* cursor_ = nullptr;
+  Pending* log_end_ = nullptr;
+  /// gflow -> slot index + 1 (0 = unknown); valid for cache_generation_.
+  mutable std::vector<std::uint32_t> slot_cache_;
+  mutable std::uint64_t cache_generation_ = 0;
+};
+
+}  // namespace laps

@@ -48,6 +48,18 @@ void write_report_json(JsonWriter& w, const SimReport& r) {
   w.field("p90", static_cast<std::int64_t>(r.latency_ns.quantile(0.90)));
   w.field("p99", static_cast<std::int64_t>(r.latency_ns.quantile(0.99)));
   w.field("p999", static_cast<std::int64_t>(r.latency_ns.quantile(0.999)));
+  // The full distribution, not just summary quantiles: occupied buckets as
+  // [upper_bound_ns, count] pairs in ascending value order. Lets artifact
+  // consumers plot CDFs and diff latency shapes without rerunning.
+  w.key("buckets");
+  w.begin_array();
+  for (const Histogram::Bucket& b : r.latency_ns.buckets()) {
+    w.begin_array();
+    w.value(static_cast<std::int64_t>(b.upper_bound));
+    w.value(b.count);
+    w.end_array();
+  }
+  w.end_array();
   w.end_object();
 
   w.key("extra");

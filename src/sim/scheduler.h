@@ -4,6 +4,7 @@
 #include <map>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "sim/packet.h"
 #include "util/time.h"
@@ -109,6 +110,16 @@ class Scheduler {
   /// tracing (LAPS reallocations, park/wake) emit through it; the default
   /// ignores the sink, so simple baselines need no changes.
   virtual void set_event_sink(SchedEventSink* sink) { (void)sink; }
+
+  /// Introspection hook: the flows the scheduler currently classifies as
+  /// aggressive, most-frequent first (the live AFC contents for LAPS).
+  /// Probes sample this at epoch boundaries to score detector accuracy
+  /// online against exact per-flow counts. Read-only — implementations
+  /// must not perturb detector state. Schedulers without a detector
+  /// return the default empty set.
+  virtual std::vector<std::uint64_t> aggressive_snapshot() const {
+    return {};
+  }
 };
 
 }  // namespace laps

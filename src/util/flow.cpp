@@ -29,15 +29,6 @@ std::uint16_t FiveTuple::crc16() const {
   return crc16_ccitt(bytes);
 }
 
-std::uint64_t FiveTuple::key64() const {
-  const std::uint64_t lo =
-      (static_cast<std::uint64_t>(src_ip) << 32) | dst_ip;
-  const std::uint64_t hi = (static_cast<std::uint64_t>(src_port) << 24) |
-                           (static_cast<std::uint64_t>(dst_port) << 8) |
-                           protocol;
-  return mix64(mix64(lo) ^ hi);
-}
-
 std::string FiveTuple::to_string() const {
   char buf[96];
   std::snprintf(buf, sizeof buf, "%s:%u -> %s:%u/%u",

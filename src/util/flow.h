@@ -31,8 +31,15 @@ struct FiveTuple {
 
   /// A 64-bit key for software hash maps (migration tables, statistics).
   /// Collision-free in practice for simulated flow populations: mixes all
-  /// 104 tuple bits through SplitMix64 in two dependent rounds.
-  std::uint64_t key64() const;
+  /// 104 tuple bits through SplitMix64 in two dependent rounds. Inline:
+  /// per-packet probes compute it on their fast path.
+  std::uint64_t key64() const {
+    const std::uint64_t lo = (static_cast<std::uint64_t>(src_ip) << 32) | dst_ip;
+    const std::uint64_t hi = (static_cast<std::uint64_t>(src_port) << 24) |
+                             (static_cast<std::uint64_t>(dst_port) << 8) |
+                             protocol;
+    return mix64(mix64(lo) ^ hi);
+  }
 
   /// Human-readable "a.b.c.d:p -> a.b.c.d:p/proto" form for logs and
   /// error messages.

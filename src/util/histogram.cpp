@@ -63,6 +63,14 @@ std::int64_t Histogram::quantile(double q) const {
   return max_;
 }
 
+std::vector<Histogram::Bucket> Histogram::buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) out.push_back({bucket_upper_bound(i), buckets_[i]});
+  }
+  return out;
+}
+
 void Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];

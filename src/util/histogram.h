@@ -34,6 +34,19 @@ class Histogram {
   /// Value at quantile q in [0, 1] (bucket upper bound); 0 if empty.
   std::int64_t quantile(double q) const;
 
+  /// One occupied histogram bucket: all samples in it are <= upper_bound
+  /// (and above the previous occupied bucket's upper_bound).
+  struct Bucket {
+    std::int64_t upper_bound = 0;
+    std::uint64_t count = 0;
+    friend bool operator==(const Bucket&, const Bucket&) = default;
+  };
+
+  /// Occupied buckets in ascending value order (empty histogram -> empty
+  /// vector). The full distribution for artifact export — quantile() is a
+  /// two-point summary, this is the curve.
+  std::vector<Bucket> buckets() const;
+
   /// Merges another histogram into this one.
   void merge(const Histogram& other);
 

@@ -366,6 +366,52 @@ TEST(Histogram, SummaryMentionsCount) {
   EXPECT_NE(h.summary().find("count=1"), std::string::npos);
 }
 
+TEST(Histogram, BucketsEmptyHistogram) {
+  Histogram h;
+  EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(Histogram, BucketsSingleSample) {
+  Histogram h;
+  h.record(42);
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].count, 1u);
+  // The sample must fall inside its bucket: upper bound at or above it,
+  // and within the documented 1/32 relative bucket error.
+  EXPECT_GE(buckets[0].upper_bound, 42);
+  EXPECT_LE(buckets[0].upper_bound, 42 + 42 / 32 + 1);
+}
+
+TEST(Histogram, BucketsSumToCountAndStaySorted) {
+  Histogram h;
+  for (int i = 1; i <= 10'000; ++i) h.record(i * 7);
+  const auto buckets = h.buckets();
+  std::uint64_t total = 0;
+  std::int64_t prev = -1;
+  for (const auto& b : buckets) {
+    EXPECT_GT(b.upper_bound, prev);
+    prev = b.upper_bound;
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Histogram, BucketsAfterMerge) {
+  Histogram a, b;
+  a.record(10);
+  a.record(10);
+  b.record(10);
+  b.record(5'000);
+  a.merge(b);
+  const auto buckets = a.buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].upper_bound, 10);  // exact low range
+  EXPECT_EQ(buckets[0].count, 3u);        // 2 from a + 1 from b
+  EXPECT_EQ(buckets[1].count, 1u);
+  EXPECT_GE(buckets[1].upper_bound, 5'000);
+}
+
 TEST(Histogram, LargeValues) {
   Histogram h;
   const std::int64_t big = 3'000'000'000'000LL;  // ~50 min in ns
