@@ -4,8 +4,21 @@
 # so a green run means the suite is clean of UB and memory errors.
 #
 # Usage: scripts/check_sanitize.sh [ctest-args...]
+#        scripts/check_sanitize.sh --chaos [chaos_soak-args...]
+#
+# --chaos builds and runs the chaos_soak fault-injection grid under the
+# sanitizers instead of ctest: every fault path (core flush, stall resume,
+# adversarial traffic merge, recovery) executes with memory/UB checking on.
+# Default grid is small enough for CI; pass chaos_soak flags to widen it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--chaos" ]]; then
+  shift
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)" --target chaos_soak
+  exec ./build-asan/bench/chaos_soak --schedules=12 --jobs=2 --seconds=0.005 "$@"
+fi
 
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"

@@ -8,15 +8,19 @@ CoreId FcfsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
   std::uint32_t best_load = ~0u;
   // Start the scan at a rotating offset so equally-loaded cores share
   // traffic instead of core 0 absorbing every tie.
+  bool have = false;
   for (std::size_t i = 0; i < num_cores_; ++i) {
     const CoreId c = static_cast<CoreId>((rr_ + i) % num_cores_);
+    if (down_[c] != 0) continue;
     const std::uint32_t load = view.load(c);
-    if (load < best_load) {
+    if (!have || load < best_load) {
+      have = true;
       best_load = load;
       best = c;
       if (load == 0) break;
     }
   }
+  // Every core down: any answer is a drop; the engine accounts it.
   rr_ = (static_cast<std::size_t>(best) + 1) % num_cores_;
   return best;
 }

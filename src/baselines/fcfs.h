@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "sim/scheduler.h"
 
 namespace laps {
@@ -16,15 +18,26 @@ class FcfsScheduler final : public Scheduler {
   void attach(std::size_t num_cores) override {
     num_cores_ = num_cores;
     rr_ = 0;
+    down_.assign(num_cores, 0);
   }
 
   CoreId schedule(const SimPacket& pkt, const NpuView& view) override;
 
   std::string name() const override { return "FCFS"; }
 
+  /// Degradation: failed cores drop out of the least-loaded scan until
+  /// recovery.
+  void notify_core_down(CoreId core, const NpuView&) override {
+    if (core < down_.size()) down_[core] = 1;
+  }
+  void notify_core_up(CoreId core, const NpuView&) override {
+    if (core < down_.size()) down_[core] = 0;
+  }
+
  private:
   std::size_t num_cores_ = 0;
   std::size_t rr_ = 0;  // tie-break rotation so ties spread evenly
+  std::vector<std::uint8_t> down_;
 };
 
 }  // namespace laps

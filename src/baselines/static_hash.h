@@ -27,15 +27,37 @@ class StaticHashScheduler : public Scheduler {
 
   std::string name() const override { return "StaticHash"; }
 
+  /// Degradation: rebuild the bucket table over the live cores (a global
+  /// rehash — Dittmann's scheme has no incremental structure to do better,
+  /// which is exactly the contrast with LAPS's drain/remap).
+  void notify_core_down(CoreId core, const NpuView&) override {
+    if (core < down_.size() && down_[core] == 0) {
+      down_[core] = 1;
+      rebuild();
+    }
+  }
+  void notify_core_up(CoreId core, const NpuView&) override {
+    if (core < down_.size() && down_[core] != 0) {
+      down_[core] = 0;
+      rebuild();
+    }
+  }
+
  protected:
   /// Bucket index of a packet: CRC16(5-tuple) mod table size.
   std::size_t bucket_of(const SimPacket& pkt) const {
     return pkt.tuple.crc16() % table_.size();
   }
 
+  /// Fills the table round-robin over the live cores; with nothing down
+  /// this is exactly the attach()-time `b % num_cores` mapping. With every
+  /// core down the table is left as-is (drops are accounted upstream).
+  void rebuild();
+
   std::size_t num_buckets_;
   std::vector<CoreId> table_;  // bucket -> core
   std::size_t num_cores_ = 0;
+  std::vector<std::uint8_t> down_;
 };
 
 }  // namespace laps

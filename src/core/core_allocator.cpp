@@ -19,6 +19,7 @@ CoreAllocator::CoreAllocator(std::size_t num_cores, std::size_t num_services,
   }
   owner_.resize(num_cores);
   cores_of_.resize(num_services);
+  offline_.assign(num_cores, 0);
   // Contiguous, as-even-as-possible split (16/4 -> 4 each, the paper's
   // "at initialization, cores are equally divided among services").
   for (std::size_t c = 0; c < num_cores; ++c) {
@@ -32,6 +33,7 @@ void CoreAllocator::mark_surplus(CoreId core, TimeNs now) {
   if (core >= owner_.size()) {
     throw std::out_of_range("CoreAllocator: bad core id");
   }
+  if (offline_[core] != 0) return;  // a dead core has no spare capacity
   if (is_surplus(core)) return;
   surplus_.push_back(Surplus{core, now});
 }
@@ -58,7 +60,9 @@ std::optional<CoreId> CoreAllocator::grant_core(std::size_t service) {
   for (auto it = surplus_.begin(); it != surplus_.end(); ++it) {
     const std::size_t victim = owner_[it->core];
     if (victim == service) continue;
-    if (cores_of_[victim].size() <= min_cores_) continue;
+    // Victim viability counts *online* cores: a service whose spare cores
+    // are all dead is not a donor. Identical to size() with no faults.
+    if (online_of(victim) <= min_cores_) continue;
     if (best == surplus_.end() || it->since < best->since) best = it;
   }
   if (best == surplus_.end()) return std::nullopt;
@@ -68,6 +72,73 @@ std::optional<CoreId> CoreAllocator::grant_core(std::size_t service) {
   const std::size_t victim = owner_[core];
   auto& victim_cores = cores_of_[victim];
   victim_cores.erase(std::find(victim_cores.begin(), victim_cores.end(), core));
+  owner_[core] = service;
+  cores_of_[service].push_back(core);
+  ++transfers_;
+  return core;
+}
+
+void CoreAllocator::set_offline(CoreId core) {
+  if (core >= owner_.size()) {
+    throw std::out_of_range("CoreAllocator: bad core id");
+  }
+  if (offline_[core] != 0) return;
+  offline_[core] = 1;
+  unmark_surplus(core);
+}
+
+void CoreAllocator::set_online(CoreId core) {
+  if (core >= owner_.size()) {
+    throw std::out_of_range("CoreAllocator: bad core id");
+  }
+  offline_[core] = 0;
+}
+
+std::size_t CoreAllocator::online_of(std::size_t service) const {
+  std::size_t n = 0;
+  for (const CoreId c : cores_of_.at(service)) n += offline_[c] == 0 ? 1 : 0;
+  return n;
+}
+
+std::optional<CoreId> CoreAllocator::grant_any(std::size_t service) {
+  if (service >= cores_of_.size()) {
+    throw std::out_of_range("CoreAllocator: bad service id");
+  }
+  // Donor: the other service with the most online cores, required to keep
+  // at least one so the theft never black-holes the donor instead.
+  std::size_t donor = cores_of_.size();
+  std::size_t donor_online = 1;
+  for (std::size_t s = 0; s < cores_of_.size(); ++s) {
+    if (s == service) continue;
+    const std::size_t online = online_of(s);
+    if (online > donor_online) {
+      donor = s;
+      donor_online = online;
+    }
+  }
+  if (donor == cores_of_.size()) return std::nullopt;
+
+  // Prefer a surplus (idle) core of the donor; otherwise its most recently
+  // granted online core.
+  CoreId core = owner_.size();
+  for (const Surplus& s : surplus_) {
+    if (owner_[s.core] == donor) {
+      core = s.core;
+      break;
+    }
+  }
+  if (core == owner_.size()) {
+    const auto& donor_cores = cores_of_[donor];
+    for (auto it = donor_cores.rbegin(); it != donor_cores.rend(); ++it) {
+      if (offline_[*it] == 0) {
+        core = *it;
+        break;
+      }
+    }
+  }
+  unmark_surplus(core);
+  auto& donor_cores = cores_of_[donor];
+  donor_cores.erase(std::find(donor_cores.begin(), donor_cores.end(), core));
   owner_[core] = service;
   cores_of_[service].push_back(core);
   ++transfers_;

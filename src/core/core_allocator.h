@@ -59,6 +59,28 @@ class CoreAllocator {
   /// Total ownership transfers so far (reported as reallocations).
   std::uint64_t transfers() const { return transfers_; }
 
+  /// Marks a core failed: it keeps its owner (so recovery restores the
+  /// allocation) but stops being grantable and loses any surplus mark.
+  /// Fault-injection only; no-op if already offline.
+  void set_offline(CoreId core);
+
+  /// Clears the failed mark. No-op if online.
+  void set_online(CoreId core);
+
+  bool is_offline(CoreId core) const { return offline_.at(core) != 0; }
+
+  /// Cores of `service` that are not offline — the capacity it can
+  /// actually run packets on.
+  std::size_t online_of(std::size_t service) const;
+
+  /// Emergency grant for fault recovery: when a dead core must be replaced
+  /// and no surplus donor exists, takes an online core from the service
+  /// with the most online cores (which must keep at least one). Unlike
+  /// grant_core this may take a busy, never-surplus core and may dip below
+  /// min_cores — losing a core beats black-holing a service's traffic.
+  /// Returns nullopt only when no other service has two online cores.
+  std::optional<CoreId> grant_any(std::size_t service);
+
  private:
   struct Surplus {
     CoreId core;
@@ -68,6 +90,7 @@ class CoreAllocator {
   std::vector<std::size_t> owner_;
   std::vector<std::vector<CoreId>> cores_of_;
   std::vector<Surplus> surplus_;  // tiny; linear scans are fine
+  std::vector<std::uint8_t> offline_;
   std::size_t min_cores_;
   std::uint64_t transfers_ = 0;
 };

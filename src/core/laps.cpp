@@ -33,6 +33,10 @@ void LapsScheduler::attach(std::size_t num_cores) {
   core_requests_ = 0;
   core_requests_denied_ = 0;
   stale_pins_dropped_ = 0;
+  down_.assign(num_cores, 0);
+  cores_down_events_ = 0;
+  cores_up_events_ = 0;
+  fault_unreplaced_buckets_ = 0;
 
   parked_.assign(num_cores, false);
   surplus_since_.assign(num_cores, -1);
@@ -72,14 +76,14 @@ bool LapsScheduler::wake_core(CoreId core, TimeNs now) {
 void LapsScheduler::update_parking(TimeNs now) {
   if (!config_.power_gating) return;
   for (CoreId c = 0; c < static_cast<CoreId>(parked_.size()); ++c) {
-    if (parked_[c] || surplus_since_[c] < 0) continue;
+    if (parked_[c] || down_[c] != 0 || surplus_since_[c] < 0) continue;
     if (now - surplus_since_[c] < config_.sleep_after) continue;
     if (now < no_park_until_[c]) continue;
     const std::size_t owner = allocator_->owner(c);
-    // The owner must keep at least min_cores powered cores.
+    // The owner must keep at least min_cores powered, live cores.
     std::size_t unparked = 0;
     for (CoreId other : allocator_->cores_of(owner)) {
-      unparked += !parked_[other];
+      unparked += !parked_[other] && down_[other] == 0;
     }
     if (unparked <= config_.min_cores_per_service) continue;
     park_core(owner, c, now);
@@ -121,7 +125,7 @@ void LapsScheduler::update_consolidation(std::size_t service, CoreId target,
   bool have = false;
   std::uint32_t victim_max = 0;
   for (CoreId core : allocator_->cores_of(service)) {
-    if (parked_[core]) {
+    if (parked_[core] || down_[core] != 0) {
       window_core_max_[core] = 0;
       continue;
     }
@@ -175,7 +179,7 @@ CoreId LapsScheduler::least_loaded_of(std::size_t service,
   bool have = false;
   std::uint32_t best_load = 0;
   for (CoreId core : owned) {
-    if (parked_[core]) continue;
+    if (parked_[core] || down_[core] != 0) continue;
     const std::uint32_t load = view.load(core);
     if (!have || load < best_load) {
       have = true;
@@ -186,14 +190,13 @@ CoreId LapsScheduler::least_loaded_of(std::size_t service,
   return best;
 }
 
-bool LapsScheduler::request_core(std::size_t service) {
-  ++core_requests_;
+bool LapsScheduler::acquire_core(std::size_t service, bool emergency) {
   // Power gating: reclaim the service's own parked cores first — the
   // paper's Sec. III-D "unmarked and removed from the list of surplus
   // cores without incurring the overhead of context switch".
   if (config_.power_gating) {
     for (CoreId core : allocator_->cores_of(service)) {
-      if (!parked_[core]) continue;
+      if (!parked_[core] || down_[core] != 0) continue;
       wake_core(core, last_now_);
       surplus_since_[core] = -1;
       allocator_->unmark_surplus(core);
@@ -203,13 +206,12 @@ bool LapsScheduler::request_core(std::size_t service) {
       return true;
     }
   }
-  const auto granted = allocator_->grant_core(service);
-  if (!granted) {
-    ++core_requests_denied_;
-    emit(SchedEvent::Kind::kCoreDenied, -1,
-         static_cast<std::int32_t>(service));
-    return false;
-  }
+  auto granted = allocator_->grant_core(service);
+  // Emergency (dead-core replacement) only: no surplus donor exists, so
+  // take a live core from the richest service — a mere overload request
+  // never reaches this and never steals a busy core.
+  if (!granted && emergency) granted = allocator_->grant_any(service);
+  if (!granted) return false;
   const CoreId core = *granted;
   wake_core(core, last_now_);
   surplus_since_[core] = -1;
@@ -228,6 +230,64 @@ bool LapsScheduler::request_core(std::size_t service) {
   emit(SchedEvent::Kind::kCoreGrant, static_cast<std::int32_t>(core),
        static_cast<std::int32_t>(service));
   return true;
+}
+
+bool LapsScheduler::request_core(std::size_t service) {
+  ++core_requests_;
+  if (acquire_core(service, /*emergency=*/false)) return true;
+  ++core_requests_denied_;
+  emit(SchedEvent::Kind::kCoreDenied, -1, static_cast<std::int32_t>(service));
+  return false;
+}
+
+void LapsScheduler::notify_core_down(CoreId core, const NpuView& view) {
+  if (allocator_ == nullptr || core >= down_.size() || down_[core] != 0) {
+    return;
+  }
+  down_[core] = 1;
+  ++cores_down_events_;
+  last_now_ = view.now();
+  if (config_.power_gating && parked_[core]) {
+    // Close the sleep span without wake semantics — the core did not wake,
+    // it died.
+    parked_[core] = false;
+    parked_total_ns_ += last_now_ - parked_since_[core];
+  }
+  surplus_since_[core] = -1;
+  allocator_->set_offline(core);
+
+  const std::size_t service = allocator_->owner(core);
+  // Pins to the dead core are dead routes; drop them (their flows fall
+  // back to the hash path, re-migrating later if still aggressive).
+  migration_tables_[service].remove_core_entries(core);
+  // Drain the dead core's buckets. remove_core refuses the service's last
+  // bucket, at which point a replacement must arrive *before* the drain
+  // can finish — acquire one (own parked core, surplus donor, or the
+  // emergency grant_any). If even that fails the dead bucket stays and the
+  // engine's dead-route drop accounts the loss.
+  MapTable& table = map_tables_[service];
+  while (table.contains(core)) {
+    if (table.remove_core(core)) continue;
+    if (acquire_core(service, /*emergency=*/true)) continue;
+    ++fault_unreplaced_buckets_;
+    emit(SchedEvent::Kind::kCoreDenied, static_cast<std::int32_t>(core),
+         static_cast<std::int32_t>(service));
+    break;
+  }
+}
+
+void LapsScheduler::notify_core_up(CoreId core, const NpuView& view) {
+  if (allocator_ == nullptr || core >= down_.size() || down_[core] == 0) {
+    return;
+  }
+  down_[core] = 0;
+  ++cores_up_events_;
+  last_now_ = view.now();
+  allocator_->set_online(core);
+  surplus_since_[core] = -1;
+  // Rejoin the owner's map table; incremental hashing moves only the
+  // recovered buckets' flows, so reintegration is gradual, not a reshuffle.
+  add_core_buckets(allocator_->owner(core), core);
 }
 
 CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
@@ -258,7 +318,7 @@ CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
   CoreId target = 0;
   bool pinned = false;
   if (const auto pin = migration_tables_[service].lookup(key)) {
-    if (allocator_->owner(*pin) == service) {
+    if (allocator_->owner(*pin) == service && down_[*pin] == 0) {
       target = *pin;
       pinned = true;
     } else {
@@ -331,6 +391,11 @@ CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
     }
   }
 
+  // Defense in depth: the drain/remap protocol keeps dead cores out of
+  // every table, so this reroute should never fire — but a dead target
+  // would be a guaranteed drop, and least_loaded_of skips down cores.
+  if (down_[target] != 0) target = least_loaded_of(service, view);
+
   // The dispatch touches the core, so it is no longer reclaimable surplus.
   allocator_->unmark_surplus(target);
   surplus_since_[target] = -1;
@@ -347,21 +412,7 @@ std::map<std::string, double> LapsScheduler::extra_stats() const {
   for (CoreId c = 0; c < static_cast<CoreId>(parked_.size()); ++c) {
     if (parked_[c]) parked += last_now_ - parked_since_[c];
   }
-  if (config_.power_gating) {
-    return {
-        {"aggressive_migrations", static_cast<double>(aggressive_migrations_)},
-        {"core_requests", static_cast<double>(core_requests_)},
-        {"core_requests_denied", static_cast<double>(core_requests_denied_)},
-        {"core_transfers", static_cast<double>(allocator_->transfers())},
-        {"stale_pins_dropped", static_cast<double>(stale_pins_dropped_)},
-        {"afd_promotions", static_cast<double>(afd_stats.promotions)},
-        {"afd_afc_hits", static_cast<double>(afd_stats.afc_hits)},
-        {"parked_core_us", to_us(parked)},
-        {"sleep_events", static_cast<double>(sleep_events_)},
-        {"wake_events", static_cast<double>(wake_events_)},
-    };
-  }
-  return {
+  std::map<std::string, double> stats = {
       {"aggressive_migrations", static_cast<double>(aggressive_migrations_)},
       {"core_requests", static_cast<double>(core_requests_)},
       {"core_requests_denied", static_cast<double>(core_requests_denied_)},
@@ -370,6 +421,20 @@ std::map<std::string, double> LapsScheduler::extra_stats() const {
       {"afd_promotions", static_cast<double>(afd_stats.promotions)},
       {"afd_afc_hits", static_cast<double>(afd_stats.afc_hits)},
   };
+  if (config_.power_gating) {
+    stats["parked_core_us"] = to_us(parked);
+    stats["sleep_events"] = static_cast<double>(sleep_events_);
+    stats["wake_events"] = static_cast<double>(wake_events_);
+  }
+  // Added only when a fault actually hit, so fault-free runs keep their
+  // byte-identical artifacts (golden determinism suite).
+  if (cores_down_events_ + cores_up_events_ > 0) {
+    stats["laps_cores_down_events"] = static_cast<double>(cores_down_events_);
+    stats["laps_cores_up_events"] = static_cast<double>(cores_up_events_);
+    stats["laps_unreplaced_buckets"] =
+        static_cast<double>(fault_unreplaced_buckets_);
+  }
+  return stats;
 }
 
 }  // namespace laps

@@ -124,6 +124,19 @@ class LapsScheduler final : public Scheduler {
   /// detector.
   std::vector<std::uint64_t> aggressive_snapshot() const override;
 
+  /// Graceful degradation on core failure (drain/remap protocol, see
+  /// DESIGN.md): the dead core is taken offline in the allocator, its
+  /// migration pins are dropped, and its map-table buckets are drained.
+  /// When the dead core held the service's *last* bucket, a replacement is
+  /// acquired first (own parked core, then a surplus donor, then the
+  /// emergency grant_any), so the service keeps routable capacity.
+  void notify_core_down(CoreId core, const NpuView& view) override;
+
+  /// Recovery: the core rejoins the allocator and its owner's map table
+  /// (incremental hashing pulls flows back gradually; no flood of
+  /// migrations).
+  void notify_core_up(CoreId core, const NpuView& view) override;
+
   // Introspection for tests.
   const CoreAllocator& allocator() const { return *allocator_; }
   const MapTable& map_table(std::size_t service) const {
@@ -153,6 +166,13 @@ class LapsScheduler final : public Scheduler {
   /// own parked cores are reclaimed first (no context switch needed, as
   /// Sec. III-D intends). Returns true on success.
   bool request_core(std::size_t service);
+
+  /// The grant machinery behind request_core: wake an own parked core,
+  /// else take a surplus donor core. `emergency` (core-failure replacement
+  /// only) additionally falls back to CoreAllocator::grant_any — normal
+  /// overload never steals a busy core. Returns true and emits kCoreGrant
+  /// on success; the caller reports denial.
+  bool acquire_core(std::size_t service, bool emergency);
 
   /// Parks eligible surplus cores (power gating); no-op when disabled.
   void update_parking(TimeNs now);
@@ -205,11 +225,19 @@ class LapsScheduler final : public Scheduler {
   std::uint64_t sleep_events_ = 0;
   std::uint64_t wake_events_ = 0;
 
+  // Fault state: cores currently failed (engine notify_core_down/up).
+  std::vector<std::uint8_t> down_;
+
   // Counters for extra_stats().
   std::uint64_t aggressive_migrations_ = 0;
   std::uint64_t core_requests_ = 0;
   std::uint64_t core_requests_denied_ = 0;
   std::uint64_t stale_pins_dropped_ = 0;
+  // Fault counters; the fault_* extra_stats keys appear only when a fault
+  // was actually seen, so fault-free artifacts stay byte-identical.
+  std::uint64_t cores_down_events_ = 0;
+  std::uint64_t cores_up_events_ = 0;
+  std::uint64_t fault_unreplaced_buckets_ = 0;
 };
 
 }  // namespace laps

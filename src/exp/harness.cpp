@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "sim/afd_accuracy.h"
+#include "sim/fault.h"
 #include "sim/flight_recorder.h"
 #include "sim/flow_audit.h"
 #include "sim/probes.h"
@@ -72,6 +73,16 @@ HarnessOptions parse_harness_flags(Flags& flags) {
     throw std::invalid_argument(
         "--flight-dump requires --flight-recorder=PATH");
   }
+
+  opts.faults_spec = flags.get_string("faults", "");
+  if (!opts.faults_spec.empty()) {
+    opts.faults =
+        std::make_shared<const FaultPlan>(parse_fault_plan(opts.faults_spec));
+  }
+  opts.fault_timeline_path = flags.get_string("fault-timeline", "");
+  if (!opts.fault_timeline_path.empty() && opts.faults == nullptr) {
+    throw std::invalid_argument("--fault-timeline requires --faults=SPEC");
+  }
   return opts;
 }
 
@@ -107,14 +118,24 @@ bool any_probe_configured(const HarnessOptions& opts) {
 
 SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
                        const HarnessOptions& opts) {
-  if (!any_probe_configured(opts)) {
-    return run_scenario(config, scheduler);
+  // A --faults plan on the command line applies to every scenario in the
+  // grid that does not already carry its own plan.
+  ScenarioConfig faulted_config;
+  const ScenarioConfig* effective = &config;
+  if (opts.faults != nullptr && config.faults == nullptr) {
+    faulted_config = config;
+    faulted_config.faults = opts.faults;
+    effective = &faulted_config;
+  }
+  if (!any_probe_configured(opts) && opts.fault_timeline_path.empty()) {
+    return run_scenario(*effective, scheduler);
   }
   std::optional<TimeSeriesProbe> series;
   std::optional<ChromeTraceProbe> trace;
   std::optional<FlowAuditProbe> audit;
   std::optional<AfdAccuracyProbe> accuracy;
   std::optional<FlightRecorderProbe> flight;
+  std::optional<FaultProbe> fault_probe;
   ProbeSet extra;
   TimeNs epoch_ns = 0;
   if (!opts.timeseries_path.empty()) {
@@ -151,9 +172,13 @@ SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
     flight.emplace(flight_cfg);
     extra.add(&*flight);
   }
+  if (!opts.fault_timeline_path.empty() && effective->faults != nullptr) {
+    fault_probe.emplace();
+    extra.add(&*fault_probe);
+  }
   // Probes attach before the run so the scheduler name reflects the instance
   // actually used (grid jobs construct schedulers per job).
-  SimReport report = run_scenario(config, scheduler, extra, epoch_ns);
+  SimReport report = run_scenario(*effective, scheduler, extra, epoch_ns);
   if (series) {
     const std::string path = per_run_path(opts.timeseries_path, config.name,
                                           scheduler.name(), config.seed);
@@ -192,11 +217,19 @@ SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
                  flight->triggered() ? ", trigger: " : "",
                  flight->triggered() ? flight->trigger_reason().c_str() : "");
   }
+  if (fault_probe) {
+    const std::string path =
+        per_run_path(opts.fault_timeline_path, config.name, scheduler.name(),
+                     config.seed);
+    fault_probe->write(path);
+    std::fprintf(stderr, "wrote fault timeline: %s (%zu events)\n",
+                 path.c_str(), fault_probe->timeline().size());
+  }
   return report;
 }
 
 ExperimentPlan::JobRunner observed_runner(const HarnessOptions& opts) {
-  if (!any_probe_configured(opts)) return {};
+  if (!any_probe_configured(opts) && opts.faults == nullptr) return {};
   return [opts](const ScenarioConfig& config, Scheduler& scheduler) {
     return run_observed(config, scheduler, opts);
   };
@@ -265,14 +298,25 @@ void write_json_artifact(const std::string& path, const std::string& tool,
                          const std::vector<ArtifactTable>& tables) {
   if (path.empty()) return;
   const std::string doc = artifact_json(tool, results, tables);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("cannot open JSON artifact path: " + path);
+  // Write-then-rename so a crash or full disk mid-write never leaves a
+  // truncated artifact where CI tooling expects a complete one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot open JSON artifact path: " + tmp);
+    }
+    out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("failed writing JSON artifact: " + tmp);
+    }
   }
-  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("failed writing JSON artifact: " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("failed renaming JSON artifact into place: " +
+                             path);
   }
   std::fprintf(stderr, "wrote JSON artifact: %s (%zu bytes)\n", path.c_str(),
                doc.size());

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,10 @@ struct HarnessOptions {
   std::uint64_t flight_ooo_spike = 256;    ///< OOO/window trigger; 0 = off
   double flight_window_us = 100.0;     ///< anomaly-counting window
   bool flight_dump = false;            ///< dump even without an anomaly
+  // Fault injection (sim/fault.h).
+  std::string faults_spec;             ///< raw --faults grammar, for display
+  std::shared_ptr<const FaultPlan> faults;  ///< parsed plan; null = none
+  std::string fault_timeline_path;     ///< empty = no FaultProbe artifact
 };
 
 /// Consumes the flags every experiment binary shares:
@@ -54,6 +59,10 @@ struct HarnessOptions {
 ///   --flight-ooo-spike=N      OOO/window that trigger a dump (0 = off)
 ///   --flight-window-us=N      anomaly window width (default 100 us)
 ///   --flight-dump             dump the ring even without an anomaly
+///   --faults=SPEC             fault schedule (parse_fault_plan grammar,
+///                             e.g. "down:3@10ms;up:3@30ms")
+///   --fault-timeline=P        per-run fault timeline + recovery metrics
+///                             (stem P); requires --faults
 /// Call before flags.finish().
 HarnessOptions parse_harness_flags(Flags& flags);
 

@@ -1,7 +1,10 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+
+#include "sim/fault.h"
 
 namespace laps {
 
@@ -36,6 +39,15 @@ SimEngine::SimEngine(SimEngineConfig config, Scheduler& scheduler,
   }
   views_.resize(config_.num_cores);
   for (CoreView& v : views_) v.idle_since = 0;  // all idle at t = 0
+
+  if (config_.faults != nullptr && !config_.faults->empty()) {
+    config_.faults->validate(config_.num_cores);
+    faults_on_ = true;
+    down_.assign(config_.num_cores, 0);
+    slow_.assign(config_.num_cores, 1.0);
+    stall_until_.assign(config_.num_cores, 0);
+    resume_pending_.assign(config_.num_cores, 0);
+  }
 }
 
 void SimEngine::sched_event(const SchedEvent& event) {
@@ -73,7 +85,12 @@ void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
                     : 0);
 
   const bool epochs = config_.epoch_ns > 0 && !probes_.empty();
+  epochs_on_ = epochs;
   next_epoch_ = config_.epoch_ns;
+
+  const std::vector<FaultEvent>* fault_events =
+      faults_on_ ? &config_.faults->events : nullptr;
+  std::size_t fault_next = 0;
 
   auto arrival = arrivals.next();
   TimeNs horizon = 0;
@@ -85,6 +102,21 @@ void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
   }
 
   while (arrival || !completions_.empty()) {
+    // Fault events execute first at their tick: a core_down at t flushes
+    // before a completion or arrival at the same t runs, so the scheduler
+    // sees the post-fault topology for the simultaneous packet.
+    if (fault_events != nullptr && fault_next < fault_events->size()) {
+      TimeNs next_t = arrival ? arrival->time
+                              : std::numeric_limits<TimeNs>::max();
+      if (!completions_.empty()) {
+        next_t = std::min(next_t, completions_.top_time());
+      }
+      while (fault_next < fault_events->size() &&
+             (*fault_events)[fault_next].time <= next_t) {
+        apply_fault((*fault_events)[fault_next++], /*advance=*/true);
+      }
+      if (!arrival && completions_.empty()) break;  // faults flushed the rest
+    }
     // Completions at the same tick run before arrivals: the freed queue
     // slot is visible to a simultaneously arriving packet, matching
     // hardware where dequeue happens early in the cycle.
@@ -106,9 +138,29 @@ void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
       }
     } else {
       const Completion c = completions_.pop();
+      if (faults_on_) {
+        if (c.resume) {
+          // Stall expiry: advance the clock and retry the core.
+          if (epochs) emit_epochs_until(c.time);
+          now_ = c.time;
+          resume_pending_[c.core] = 0;
+          maybe_resume(c.core);
+          continue;
+        }
+        if (c.gen != cores_[c.core].gen) continue;  // flushed; clock frozen
+      }
       if (epochs) emit_epochs_until(c.time);
       now_ = c.time;
       handle_completion(c.core);
+    }
+  }
+
+  // Events scheduled past the drain point still apply (e.g. a trailing
+  // core_up that balances an earlier down), with the clock frozen at the
+  // drain time: they can no longer affect any packet.
+  if (fault_events != nullptr) {
+    while (fault_next < fault_events->size()) {
+      apply_fault((*fault_events)[fault_next++], /*advance=*/false);
     }
   }
 
@@ -120,6 +172,16 @@ void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
   end.end = now_ > horizon ? now_ : horizon;
   end.busy_total = busy_total;
   end.extra = scheduler_.extra_stats();
+  if (faults_on_) {
+    end.extra["fault_events"] = static_cast<double>(fault_events_applied_);
+    end.extra["fault_flush_drops"] =
+        static_cast<double>(fault_flush_drops_);
+    end.extra["fault_dead_route_drops"] =
+        static_cast<double>(fault_dead_route_drops_);
+    double down_now = 0;
+    for (const std::uint8_t d : down_) down_now += d;
+    end.extra["fault_cores_down_at_end"] = down_now;
+  }
   if (config_.restore_order) {
     end.extra["rob_max_occupancy"] =
         static_cast<double>(rob_.max_occupancy());
@@ -148,6 +210,17 @@ void SimEngine::handle_arrival(SimPacket pkt) {
   const CoreId target = scheduler_.schedule(pkt, *this);
   if (target >= cores_.size()) {
     throw std::logic_error("scheduler returned invalid core id");
+  }
+
+  // A dead core accepts nothing: the packet is lost at the Frame Manager,
+  // never enqueued (the no-packet-to-a-dead-core invariant). Schedulers
+  // that honor notify_core_down never hit this; the counter exposes the
+  // ones that do not.
+  if (faults_on_ && down_[target] != 0) {
+    ++fault_dead_route_drops_;
+    for_probes([&](SimProbe& p) { p.on_drop(now_, pkt, target); });
+    if (config_.restore_order) rob_.on_drop(pkt.gflow, pkt.seq, now_);
+    return;
   }
 
   CoreState& core = cores_[target];
@@ -181,6 +254,17 @@ void SimEngine::start_service(CoreId core_id) {
   CoreView& view = views_[core_id];
   if (core.queue.empty()) throw std::logic_error("start_service: empty queue");
 
+  // A stalled core keeps its queue (visible backpressure) but starts no
+  // service until the stall expires; one wake-up per core at a time.
+  if (faults_on_ && now_ < stall_until_[core_id]) {
+    if (resume_pending_[core_id] == 0) {
+      resume_pending_[core_id] = 1;
+      completions_.push(
+          Completion{stall_until_[core_id], core_id, 0, /*resume=*/true});
+    }
+    return;
+  }
+
   core.in_service = core.queue.front();
   core.queue.pop_front();
   --view.queue_len;
@@ -195,10 +279,16 @@ void SimEngine::start_service(CoreId core_id) {
   core.last_service = static_cast<std::int32_t>(pkt.service);
   view.busy = true;
 
-  const TimeNs delay =
+  TimeNs delay =
       config_.delay.packet_delay(pkt.service, pkt.size_bytes, migrated, cold);
+  if (faults_on_ && slow_[core_id] != 1.0) {
+    delay = std::max<TimeNs>(
+        1, static_cast<TimeNs>(static_cast<double>(delay) * slow_[core_id] +
+                               0.5));
+  }
   core.busy_total += delay;
-  completions_.push(Completion{now_ + delay, core_id});
+  core.service_end = now_ + delay;
+  completions_.push(Completion{core.service_end, core_id, core.gen, false});
   for_probes([&](SimProbe& p) {
     p.on_service_start(now_, pkt, core_id, delay, migrated, cold);
   });
@@ -242,6 +332,104 @@ void SimEngine::handle_completion(CoreId core_id) {
     start_service(core_id);
   } else {
     view.idle_since = now_;
+  }
+}
+
+std::uint32_t SimEngine::flush_core(CoreId core_id) {
+  CoreState& core = cores_[core_id];
+  CoreView& view = views_[core_id];
+  std::uint32_t flushed = 0;
+  if (view.busy) {
+    // The pending completion cannot be removed from the heap; bumping the
+    // generation makes it stale. The unserved remainder of the packet's
+    // service span never ran, so it comes back out of busy_total.
+    ++core.gen;
+    core.busy_total -= core.service_end - now_;
+    for_probes([&](SimProbe& p) { p.on_drop(now_, core.in_service, core_id); });
+    if (config_.restore_order) {
+      rob_.on_drop(core.in_service.gflow, core.in_service.seq, now_);
+    }
+    ++flushed;
+  }
+  while (!core.queue.empty()) {
+    const SimPacket pkt = core.queue.front();
+    core.queue.pop_front();
+    for_probes([&](SimProbe& p) { p.on_drop(now_, pkt, core_id); });
+    if (config_.restore_order) rob_.on_drop(pkt.gflow, pkt.seq, now_);
+    ++flushed;
+  }
+  // Down cores read as empty, not-busy and never idle-claimable, so
+  // idle-timer schedulers cannot surplus-mark them.
+  view = CoreView{};  // idle_since defaults to -1
+  fault_flush_drops_ += flushed;
+  return flushed;
+}
+
+void SimEngine::maybe_resume(CoreId core_id) {
+  // start_service re-checks the stall window, so an extended stall simply
+  // re-arms the wake-up.
+  if (down_[core_id] == 0 && !views_[core_id].busy &&
+      !cores_[core_id].queue.empty()) {
+    start_service(core_id);
+  }
+}
+
+void SimEngine::apply_fault(const FaultEvent& event, bool advance) {
+  if (advance) {
+    if (epochs_on_) emit_epochs_until(event.time);
+    now_ = event.time;
+  }
+  std::uint32_t flushed = 0;
+  SchedEvent::Kind kind = SchedEvent::Kind::kTrafficFault;
+  switch (event.kind) {
+    case FaultKind::kCoreDown: {
+      kind = SchedEvent::Kind::kCoreDown;
+      const auto core = static_cast<CoreId>(event.core);
+      if (down_[core] == 0) {  // idempotent: double-down is a no-op
+        flushed = flush_core(core);
+        down_[core] = 1;
+        scheduler_.notify_core_down(core, *this);
+      }
+      break;
+    }
+    case FaultKind::kCoreUp: {
+      kind = SchedEvent::Kind::kCoreUp;
+      const auto core = static_cast<CoreId>(event.core);
+      if (down_[core] != 0) {
+        down_[core] = 0;
+        views_[core].idle_since = now_;  // rejoins the pool idle
+        scheduler_.notify_core_up(core, *this);
+      }
+      break;
+    }
+    case FaultKind::kCoreSlowdown:
+      kind = SchedEvent::Kind::kCoreSlowdown;
+      slow_[static_cast<std::size_t>(event.core)] = event.factor;
+      break;
+    case FaultKind::kCoreStall: {
+      kind = SchedEvent::Kind::kCoreStall;
+      const auto core = static_cast<std::size_t>(event.core);
+      stall_until_[core] =
+          std::max(stall_until_[core], event.time + event.duration);
+      break;
+    }
+    case FaultKind::kCollisionBurst:
+    case FaultKind::kFlashCrowd:
+      // Realized by FaultTrafficStream; executed here only as a timeline
+      // marker so probes can correlate load spikes with the schedule.
+      break;
+  }
+  ++fault_events_applied_;
+  if (!probes_.empty()) {
+    SchedEvent se;
+    se.kind = kind;
+    se.core = event.is_core_event() ? event.core : -1;
+    // Stamped with the event's own time: trailing events apply with the
+    // simulation clock frozen at the drain point.
+    for_probes([&](SimProbe& p) {
+      p.on_sched_event(event.time, se);
+      p.on_fault(event.time, event, flushed);
+    });
   }
 }
 

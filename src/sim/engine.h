@@ -17,6 +17,8 @@
 
 namespace laps {
 
+struct FaultPlan;  // sim/fault.h
+
 /// Static configuration of the simulation kernel (paper Sec. II and IV-C:
 /// Frame Manager feeding per-core input queues of 32 descriptors).
 struct SimEngineConfig {
@@ -33,6 +35,13 @@ struct SimEngineConfig {
   /// simulated-time interval (queue-depth sampling for time series).
   /// Epochs never alter the simulated physics.
   TimeNs epoch_ns = 0;
+  /// Optional fault schedule (must outlive the engine; events sorted —
+  /// validated against num_cores at construction). Core events execute as
+  /// first-class simulation events; traffic events are markers here (the
+  /// arrival stream realizes them, see FaultTrafficStream). Null or empty:
+  /// the fault machinery costs one predicted branch per event
+  /// (pay-for-what-you-use, gated by perf_kernel's bare-engine row).
+  const FaultPlan* faults = nullptr;
 };
 
 /// Per-flow simulator state packed into a single block: four 4-byte lanes
@@ -143,18 +152,35 @@ class SimEngine final : public NpuView, public SchedEventSink {
     RingQueue<SimPacket> queue;
     SimPacket in_service;
     TimeNs busy_total = 0;
+    TimeNs service_end = 0;          ///< when the in-service packet completes
     std::int32_t last_service = -1;  ///< I-cache contents (CC_penalty)
+    /// Bumped by a core_down flush so the flushed packet's pending
+    /// completion is recognized as stale when it pops (events in the heap
+    /// cannot be cancelled).
+    std::uint32_t gen = 0;
   };
 
   struct Completion {
     TimeNs time;
     CoreId core;
+    std::uint32_t gen = 0;
+    /// A stall-expiry wake-up, not a packet completion: re-attempt
+    /// start_service on `core` (gen is ignored).
+    bool resume = false;
   };
 
   void handle_arrival(SimPacket pkt);
   void handle_completion(CoreId core);
   void start_service(CoreId core);
   void emit_epochs_until(TimeNs t);
+  /// Applies one fault event. `advance` moves the clock to event.time
+  /// (epochs included); trailing events after drain apply frozen.
+  void apply_fault(const FaultEvent& event, bool advance);
+  /// Drops the queue and in-service packet of a failing core; returns the
+  /// number of packets flushed.
+  std::uint32_t flush_core(CoreId core);
+  /// Restarts service after a stall expiry if the core can run.
+  void maybe_resume(CoreId core);
 
   template <typename Fn>
   void for_probes(Fn&& fn) {
@@ -171,6 +197,17 @@ class SimEngine final : public NpuView, public SchedEventSink {
   EventHeap<Completion> completions_;
   FlowBlock flows_;
   ReorderBuffer rob_;  // used only when config_.restore_order
+
+  // Fault state, sized only when config_.faults is a non-empty plan.
+  bool faults_on_ = false;
+  bool epochs_on_ = false;
+  std::vector<std::uint8_t> down_;        ///< core currently failed
+  std::vector<double> slow_;              ///< service-time multiplier (1.0)
+  std::vector<TimeNs> stall_until_;       ///< no new service before this
+  std::vector<std::uint8_t> resume_pending_;  ///< stall wake-up in heap
+  std::uint64_t fault_events_applied_ = 0;
+  std::uint64_t fault_flush_drops_ = 0;
+  std::uint64_t fault_dead_route_drops_ = 0;
 };
 
 }  // namespace laps

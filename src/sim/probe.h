@@ -13,6 +13,8 @@
 
 namespace laps {
 
+struct FaultEvent;  // sim/fault.h
+
 /// Static facts about one simulation run, delivered to every probe before
 /// the first event.
 struct RunInfo {
@@ -111,6 +113,16 @@ class SimProbe {
   virtual void on_sched_event(TimeNs now, const SchedEvent& event) {
     (void)now;
     (void)event;
+  }
+
+  /// A fault-plan event (sim/fault.h) was applied by the engine. `flushed`
+  /// is how many packets a core_down flush dropped (0 for other kinds).
+  /// Only fires for runs configured with a FaultPlan.
+  virtual void on_fault(TimeNs now, const FaultEvent& event,
+                        std::uint32_t flushed) {
+    (void)now;
+    (void)event;
+    (void)flushed;
   }
 
   virtual void on_run_end(const RunEnd& end) { (void)end; }

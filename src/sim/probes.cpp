@@ -35,6 +35,11 @@ const char* SchedEvent::kind_name(Kind kind) {
     case Kind::kAfdPromotion: return "afd_promotion";
     case Kind::kPark: return "park";
     case Kind::kWake: return "wake";
+    case Kind::kCoreDown: return "core_down";
+    case Kind::kCoreUp: return "core_up";
+    case Kind::kCoreSlowdown: return "core_slowdown";
+    case Kind::kCoreStall: return "core_stall";
+    case Kind::kTrafficFault: return "traffic_fault";
   }
   return "unknown";
 }
@@ -156,6 +161,12 @@ void TimeSeriesProbe::on_sched_event(TimeNs now, const SchedEvent& event) {
     case SchedEvent::Kind::kCoreDenied:
     case SchedEvent::Kind::kAggressiveMigration:
       break;  // visible in the migrations column via on_dispatch
+    case SchedEvent::Kind::kCoreDown:
+    case SchedEvent::Kind::kCoreUp:
+    case SchedEvent::Kind::kCoreSlowdown:
+    case SchedEvent::Kind::kCoreStall:
+    case SchedEvent::Kind::kTrafficFault:
+      break;  // fault timelines live in the FaultProbe artifact
   }
 }
 

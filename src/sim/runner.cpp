@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "sim/fault.h"
 #include "sim/probes.h"
 
 namespace laps {
@@ -35,18 +36,33 @@ SimReport run_scenario(const ScenarioConfig& config, Scheduler& scheduler,
   engine_config.restore_order = config.restore_order;
   engine_config.epoch_ns = epoch_ns;
 
+  const bool faulted = config.faults != nullptr && !config.faults->empty();
+  if (faulted) engine_config.faults = config.faults.get();
+
   ReportProbe report;
   ProbeSet probes;
   probes.add(&report);
   for (SimProbe* p : extra_probes.probes()) probes.add(p);
 
   SimEngine engine(engine_config, scheduler, probes);
-  engine.run(generator, config.name);
+  if (faulted) {
+    FaultTrafficStream stream(generator, *config.faults);
+    engine.run(stream, config.name);
+  } else {
+    engine.run(generator, config.name);
+  }
   return report.take_report();
 }
 
 SimReport run_scenario_reference(const ScenarioConfig& config,
                                  Scheduler& scheduler) {
+  if (config.faults != nullptr && !config.faults->empty()) {
+    // The retained seed kernel predates fault injection and exists only as
+    // a differential oracle for fault-free physics.
+    throw std::invalid_argument(
+        "run_scenario_reference: fault plans are not supported by the "
+        "reference Npu kernel");
+  }
   PacketGenerator generator = make_generator(config);
   NpuConfig npu_config;
   npu_config.num_cores = config.num_cores;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,11 @@ struct ScenarioConfig {
   /// Route completions through an egress ReorderBuffer (order restoration
   /// instead of order preservation; see SimEngineConfig::restore_order).
   bool restore_order = false;
+  /// Optional fault schedule (sim/fault.h): core events run inside the
+  /// engine, traffic events are merged into the arrival stream via
+  /// FaultTrafficStream. Null = fault-free (the default, zero overhead).
+  /// shared_ptr so ScenarioConfig stays copyable into job closures.
+  std::shared_ptr<const FaultPlan> faults;
   std::vector<ServiceTraffic> services;
 };
 

@@ -64,6 +64,11 @@ struct SchedEvent {
     kAfdPromotion,         ///< a flow was promoted from annex cache to AFC
     kPark,                 ///< power gating put a core to sleep
     kWake,                 ///< a parked core was powered back up
+    kCoreDown,             ///< fault injection took a core offline
+    kCoreUp,               ///< fault injection brought a core back
+    kCoreSlowdown,         ///< fault injection changed a core's speed
+    kCoreStall,            ///< fault injection stalled a core
+    kTrafficFault,         ///< adversarial traffic injection marker
   };
 
   Kind kind = Kind::kCoreGrant;
@@ -110,6 +115,24 @@ class Scheduler {
   /// tracing (LAPS reallocations, park/wake) emit through it; the default
   /// ignores the sink, so simple baselines need no changes.
   virtual void set_event_sink(SchedEventSink* sink) { (void)sink; }
+
+  /// Fault notification: `core` failed — its queue was flushed and the
+  /// engine will drop anything scheduled to it until notify_core_up. Called
+  /// by the engine at the fault's simulated time, before any further
+  /// schedule() call. Implementations should stop targeting the core and
+  /// remap state pinned to it; the default ignores faults (the engine still
+  /// guarantees no packet is *enqueued* to a dead core by dropping).
+  virtual void notify_core_down(CoreId core, const NpuView& view) {
+    (void)core;
+    (void)view;
+  }
+
+  /// Fault notification: a previously-failed `core` recovered and may be
+  /// targeted again.
+  virtual void notify_core_up(CoreId core, const NpuView& view) {
+    (void)core;
+    (void)view;
+  }
 
   /// Introspection hook: the flows the scheduler currently classifies as
   /// aggressive, most-frequent first (the live AFC contents for LAPS).

@@ -1,5 +1,6 @@
 #include "trace/pcap_io.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <stdexcept>
@@ -24,13 +25,13 @@ std::uint32_t bswap32(std::uint32_t v) {
 
 PcapReader::PcapReader(const std::string& path) : path_(path) {
   file_ = std::fopen(path.c_str(), "rb");
-  if (!file_) throw std::runtime_error("PcapReader: cannot open " + path);
+  if (!file_) throw PcapError("PcapReader: cannot open " + path);
 
   std::uint8_t hdr[24];
   if (std::fread(hdr, 1, sizeof hdr, file_) != sizeof hdr) {
     std::fclose(file_);
     file_ = nullptr;
-    throw std::runtime_error("PcapReader: truncated global header in " + path);
+    throw PcapError("PcapReader: truncated global header in " + path);
   }
   std::uint32_t magic;
   std::memcpy(&magic, hdr, 4);
@@ -42,14 +43,14 @@ PcapReader::PcapReader(const std::string& path) : path_(path) {
     default:
       std::fclose(file_);
       file_ = nullptr;
-      throw std::runtime_error("PcapReader: bad magic in " + path);
+      throw PcapError("PcapReader: bad magic in " + path);
   }
   link_type_ = read_u32(hdr + 20);
   snaplen_ = read_u32(hdr + 16);
   if (link_type_ != kLinkEthernet && link_type_ != kLinkRawIp) {
     std::fclose(file_);
     file_ = nullptr;
-    throw std::runtime_error("PcapReader: unsupported link type in " + path);
+    throw PcapError("PcapReader: unsupported link type in " + path);
   }
 }
 
@@ -78,19 +79,27 @@ std::optional<PcapPacket> PcapReader::next() {
     const std::size_t got = std::fread(rec_hdr, 1, sizeof rec_hdr, file_);
     if (got == 0) return std::nullopt;  // clean EOF
     if (got != sizeof rec_hdr) {
-      throw std::runtime_error("PcapReader: truncated record header");
+      throw PcapError("PcapReader: truncated record header in " + path_);
     }
     const std::uint32_t ts_sec = read_u32(rec_hdr);
     const std::uint32_t ts_frac = read_u32(rec_hdr + 4);
     const std::uint32_t incl_len = read_u32(rec_hdr + 8);
     const std::uint32_t orig_len = read_u32(rec_hdr + 12);
-    if (incl_len > snaplen_ + 65536u) {
-      throw std::runtime_error("PcapReader: implausible record length");
+    // Bound the record by the file's stated snaplen, clamped to libpcap's
+    // MAXIMUM_SNAPLEN: hostile headers store "no limit" sentinels (or
+    // values near UINT32_MAX that would wrap 32-bit arithmetic), and the
+    // resize below must never be attacker-sized. 64-bit math keeps the
+    // bound itself overflow-proof.
+    constexpr std::uint64_t kMaxSnaplen = 262144;
+    const std::uint64_t bound =
+        std::min<std::uint64_t>(snaplen_, kMaxSnaplen) + 65536u;
+    if (incl_len > bound) {
+      throw PcapError("PcapReader: implausible record length in " + path_);
     }
     data.resize(incl_len);
     if (incl_len > 0 &&
         std::fread(data.data(), 1, incl_len, file_) != incl_len) {
-      throw std::runtime_error("PcapReader: truncated record body");
+      throw PcapError("PcapReader: truncated record body in " + path_);
     }
 
     // Locate the IPv4 header.
@@ -144,7 +153,7 @@ std::optional<PcapPacket> PcapReader::next() {
 PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
     : snaplen_(snaplen) {
   file_ = std::fopen(path.c_str(), "wb");
-  if (!file_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  if (!file_) throw PcapError("PcapWriter: cannot open " + path);
   std::uint8_t hdr[24] = {};
   const std::uint32_t magic = kMagicUsec;
   const std::uint16_t ver_major = 2, ver_minor = 4;
@@ -157,7 +166,7 @@ PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
   if (std::fwrite(hdr, 1, sizeof hdr, file_) != sizeof hdr) {
     std::fclose(file_);
     file_ = nullptr;
-    throw std::runtime_error("PcapWriter: header write failed");
+    throw PcapError("PcapWriter: header write failed");
   }
 }
 
@@ -216,7 +225,7 @@ void PcapWriter::write(std::uint64_t ts_nanos, const PacketRecord& record) {
   std::memcpy(rec_hdr + 12, &orig_len, 4);
   if (std::fwrite(rec_hdr, 1, sizeof rec_hdr, file_) != sizeof rec_hdr ||
       std::fwrite(frame.data(), 1, incl_len, file_) != incl_len) {
-    throw std::runtime_error("PcapWriter: record write failed");
+    throw PcapError("PcapWriter: record write failed");
   }
   ++written_;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
@@ -22,13 +23,25 @@ namespace laps {
 /// (0xa1b23c4d) timestamp magic, Ethernet (DLT_EN10MB) and raw-IP (DLT_RAW)
 /// link types, IPv4 TCP/UDP (other packets are skipped and counted).
 
+/// Typed error for unreadable or malformed pcap files (truncated headers,
+/// implausible lengths, bad magic, I/O failures). Derives from
+/// std::runtime_error so existing catch sites keep working, while callers
+/// feeding untrusted captures can distinguish hostile input from other
+/// failures. Messages always name the offending file.
+class PcapError : public std::runtime_error {
+ public:
+  explicit PcapError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// One on-disk packet with its capture timestamp, produced by PcapReader.
 struct PcapPacket {
   std::uint64_t ts_nanos = 0;
   PacketRecord record;
 };
 
-/// Streaming pcap reader. Throws std::runtime_error on malformed files.
+/// Streaming pcap reader. Throws PcapError on malformed files; a file that
+/// is only a valid global header (zero packets) is not an error — next()
+/// returns nullopt immediately.
 class PcapReader {
  public:
   explicit PcapReader(const std::string& path);

@@ -312,6 +312,83 @@ TEST(CoreAllocator, OwnershipStaysPartitionUnderChurn) {
   }
 }
 
+TEST(CoreAllocator, GrantDrainsSurplusPoolToExhaustion) {
+  CoreAllocator a(8, 2);  // service 0: cores 0-3, service 1: cores 4-7
+  a.mark_surplus(0, 10);
+  a.mark_surplus(1, 20);
+  a.mark_surplus(2, 30);
+  std::vector<CoreId> granted;
+  while (const auto core = a.grant_core(1)) granted.push_back(*core);
+  EXPECT_EQ(granted, (std::vector<CoreId>{0, 1, 2}))
+      << "grants follow surplus age until the pool is empty";
+  EXPECT_EQ(a.surplus_count(), 0u);
+  EXPECT_FALSE(a.grant_core(1).has_value());
+  EXPECT_EQ(a.cores_of(0).size(), 1u);  // at min_cores now
+}
+
+TEST(CoreAllocator, UnmarkMidPoolSkipsThatCore) {
+  CoreAllocator a(8, 2);
+  a.mark_surplus(0, 10);
+  a.mark_surplus(1, 20);
+  a.mark_surplus(2, 30);
+  a.unmark_surplus(1);  // owner touched it again: no longer a donor
+  const auto first = a.grant_core(1);
+  const auto second = a.grant_core(1);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, 0u);
+  EXPECT_EQ(*second, 2u) << "core 1 was unmarked and must be skipped";
+  EXPECT_EQ(a.owner(1), 0u);
+}
+
+TEST(CoreAllocator, OfflineCoresAreNeverGranted) {
+  CoreAllocator a(8, 2);
+  a.mark_surplus(0, 10);
+  a.set_offline(0);
+  EXPECT_TRUE(a.is_offline(0));
+  EXPECT_FALSE(a.is_surplus(0)) << "failure clears the surplus mark";
+  EXPECT_FALSE(a.grant_core(1).has_value());
+  EXPECT_EQ(a.online_of(0), 3u);
+  EXPECT_EQ(a.owner(0), 0u) << "ownership survives the outage";
+  a.set_online(0);
+  EXPECT_EQ(a.online_of(0), 4u);
+  // Back online the core is grantable again once re-marked.
+  a.mark_surplus(0, 50);
+  const auto granted = a.grant_core(1);
+  ASSERT_TRUE(granted.has_value());
+  EXPECT_EQ(*granted, 0u);
+}
+
+TEST(CoreAllocator, OfflineTransitionsAreIdempotent) {
+  CoreAllocator a(4, 2);
+  a.set_offline(3);
+  a.set_offline(3);
+  EXPECT_EQ(a.online_of(1), 1u);
+  a.set_online(3);
+  a.set_online(3);
+  EXPECT_EQ(a.online_of(1), 2u);
+}
+
+TEST(CoreAllocator, GrantAnyTakesFromRichestDonorButNeverItsLastCore) {
+  CoreAllocator a(8, 2);  // service 0: cores 0-3, service 1: cores 4-7
+  // Kill all of service 0; service 1 is the only possible donor.
+  for (CoreId c = 0; c < 4; ++c) a.set_offline(c);
+  EXPECT_EQ(a.online_of(0), 0u);
+  const std::uint64_t transfers_before = a.transfers();
+  std::size_t granted = 0;
+  while (const auto core = a.grant_any(0)) {
+    EXPECT_EQ(a.owner(*core), 0u);
+    EXPECT_FALSE(a.is_offline(*core));
+    ++granted;
+  }
+  EXPECT_EQ(granted, 3u) << "the donor must keep one online core";
+  EXPECT_EQ(a.online_of(1), 1u);
+  EXPECT_EQ(a.online_of(0), 3u);
+  EXPECT_EQ(a.transfers(), transfers_before + 3);
+  EXPECT_FALSE(a.grant_any(0).has_value())
+      << "no donor with two online cores remains";
+}
+
 // ------------------------------------------------------------------ LAPS ---
 
 /// Hand-controlled NPU view for driving the scheduler directly.

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <initializer_list>
 #include <set>
 #include <string>
 #include <vector>
@@ -319,6 +321,133 @@ TEST(Pcap, RejectsGarbageFile) {
 TEST(Pcap, RejectsMissingFile) {
   EXPECT_THROW(PcapReader reader("/nonexistent/file.pcap"),
                std::runtime_error);
+}
+
+// ------------------------------------------------- Pcap hostile corpus ---
+// Malformed and adversarial files must produce typed PcapError throws (or
+// clean EOF for a packetless file) — never UB, never attacker-sized
+// allocations.
+
+void write_bytes(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(b.data(), 1, b.size(), f);
+  std::fclose(f);
+}
+
+/// Little-endian usec-magic global header with the given snaplen.
+std::vector<std::uint8_t> global_header(std::uint32_t snaplen = 65535) {
+  std::vector<std::uint8_t> out(24, 0);
+  const std::uint32_t magic = 0xA1B2C3D4;
+  const std::uint32_t link = 1;  // Ethernet
+  std::memcpy(out.data(), &magic, 4);
+  std::memcpy(out.data() + 16, &snaplen, 4);
+  std::memcpy(out.data() + 20, &link, 4);
+  return out;
+}
+
+void append_u32s(std::vector<std::uint8_t>& out,
+                 std::initializer_list<std::uint32_t> vals) {
+  for (std::uint32_t v : vals) {
+    const std::size_t at = out.size();
+    out.resize(at + 4);
+    std::memcpy(out.data() + at, &v, 4);
+  }
+}
+
+TEST(PcapHostile, TruncatedGlobalHeader) {
+  const std::string path = temp_pcap_path("trunc_global");
+  auto bytes = global_header();
+  bytes.resize(10);
+  write_bytes(path, bytes);
+  EXPECT_THROW(PcapReader reader(path), PcapError);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapHostile, BadMagicIsTyped) {
+  const std::string path = temp_pcap_path("bad_magic");
+  auto bytes = global_header();
+  bytes[0] = 0xDE;
+  bytes[1] = 0xAD;
+  write_bytes(path, bytes);
+  EXPECT_THROW(PcapReader reader(path), PcapError);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapHostile, ZeroPacketFileIsCleanEof) {
+  const std::string path = temp_pcap_path("zero_packets");
+  write_bytes(path, global_header());
+  PcapReader reader(path);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());  // stays EOF, no throw
+  EXPECT_EQ(reader.parsed(), 0u);
+  EXPECT_EQ(reader.skipped(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapHostile, TruncatedRecordHeader) {
+  const std::string path = temp_pcap_path("trunc_rec_hdr");
+  auto bytes = global_header();
+  append_u32s(bytes, {1, 0});  // 8 of the 16 record-header bytes
+  write_bytes(path, bytes);
+  PcapReader reader(path);
+  EXPECT_THROW(reader.next(), PcapError);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapHostile, TruncatedRecordBody) {
+  const std::string path = temp_pcap_path("trunc_rec_body");
+  auto bytes = global_header();
+  append_u32s(bytes, {1, 0, 100, 100});  // claims 100 bytes of data
+  bytes.push_back(0x45);                 // delivers 1
+  write_bytes(path, bytes);
+  PcapReader reader(path);
+  EXPECT_THROW(reader.next(), PcapError);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapHostile, AbsurdInclLenRejectedBeforeAllocation) {
+  const std::string path = temp_pcap_path("absurd_incl");
+  auto bytes = global_header();
+  append_u32s(bytes, {1, 0, 0xFFFFFFF0u, 0xFFFFFFF0u});
+  write_bytes(path, bytes);
+  PcapReader reader(path);
+  EXPECT_THROW(reader.next(), PcapError);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapHostile, HostileSnaplenCannotWrapTheBound) {
+  // snaplen near UINT32_MAX once made `snaplen + 65536` wrap to a tiny
+  // bound in 32-bit arithmetic; the bound must stay sane (clamped to
+  // libpcap's MAXIMUM_SNAPLEN) whatever the header claims.
+  const std::string path = temp_pcap_path("hostile_snaplen");
+  auto bytes = global_header(0xFFFFFFF0u);
+  append_u32s(bytes, {1, 0, 400000, 400000});  // > 262144 + 65536
+  write_bytes(path, bytes);
+  PcapReader reader(path);
+  EXPECT_THROW(reader.next(), PcapError);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapHostile, RuntHeadersAreSkippedNotFatal) {
+  const std::string path = temp_pcap_path("runt");
+  auto bytes = global_header();
+  // Record 1: 14-byte Ethernet header claiming IPv4 but no IP header.
+  append_u32s(bytes, {1, 0, 14, 14});
+  const std::uint8_t eth[14] = {0, 0, 0, 0, 0, 0, 0,
+                                0, 0, 0, 0, 0, 0x08, 0x00};
+  bytes.insert(bytes.end(), eth, eth + 14);
+  // Record 2: truncated IPv4 header (IHL says 20, only 16 present).
+  append_u32s(bytes, {2, 0, 30, 30});
+  std::vector<std::uint8_t> partial(30, 0);
+  partial[12] = 0x08;
+  partial[14] = 0x45;  // v4, IHL 5 — but the frame ends inside the header
+  bytes.insert(bytes.end(), partial.begin(), partial.end());
+  write_bytes(path, bytes);
+  PcapReader reader(path);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.skipped(), 2u);
+  std::filesystem::remove(path);
 }
 
 TEST(Pcap, SkipsNonIpPackets) {
