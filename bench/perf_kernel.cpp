@@ -1,13 +1,17 @@
 // perf_kernel: packets-per-second of the simulation kernel itself.
 //
 // Traffic is generated ONCE into a ReplayStream, then replayed through
-// five kernels, so the (dominant) cost of online packet generation is out
+// six kernels, so the (dominant) cost of online packet generation is out
 // of the timed loop and the numbers compare pure kernel throughput:
 //
 //   npu            the retained seed kernel (std::deque queues, per-flow
 //                  state in four parallel vectors, SimReport built inline)
 //   engine         the SimEngine with NO probes attached — the bare
-//                  discrete-event loop, nothing measured
+//                  discrete-event loop on its default TimingWheel
+//                  completion queue, nothing measured
+//   engine+heap    the bare SimEngine on the retained EventHeap oracle
+//                  (--event-queue=heap); engine vs engine+heap isolates
+//                  the wheel's win over the binary heap
 //   engine+report  the SimEngine with a ReportProbe, i.e. exactly what
 //                  run_scenario does for every bench and test
 //   engine+audit   the SimEngine with a FlowAuditProbe — exact per-flow
@@ -116,12 +120,16 @@ int run(Flags& flags) {
   NpuConfig npu_cfg;
   npu_cfg.num_cores = cores;
   SimEngineConfig eng_cfg;
-  eng_cfg.num_cores = cores;
+  eng_cfg.num_cores = cores;  // event_queue defaults to the TimingWheel
+  SimEngineConfig heap_cfg = eng_cfg;
+  heap_cfg.event_queue = EventQueueKind::kHeap;
 
-  Measurement npu{"npu"}, engine{"engine"}, engine_report{"engine+report"},
-      engine_audit{"engine+audit"}, engine_flight{"engine+flight"};
-  npu.packets = engine.packets = engine_report.packets =
-      engine_audit.packets = engine_flight.packets = replay.size();
+  Measurement npu{"npu"}, engine{"engine"}, engine_heap{"engine+heap"},
+      engine_report{"engine+report"}, engine_audit{"engine+audit"},
+      engine_flight{"engine+flight"};
+  npu.packets = engine.packets = engine_heap.packets =
+      engine_report.packets = engine_audit.packets = engine_flight.packets =
+          replay.size();
   SimReport check_npu, check_engine;
 
   const auto time_npu = [&]() {
@@ -135,17 +143,22 @@ int run(Flags& flags) {
     return s;
   };
   /// Times one engine pass with `probe` attached (nullptr = bare engine).
-  const auto time_engine_probe = [&](SimProbe* probe) {
+  const auto time_engine_cfg = [&](const SimEngineConfig& cfg,
+                                   SimProbe* probe) {
     ModuloScheduler sched;
     replay.rewind();
     ProbeSet probes;
     probes.add(probe);
-    SimEngine kernel(eng_cfg, sched, probes);
+    SimEngine kernel(cfg, sched, probes);
     const auto t0 = std::chrono::steady_clock::now();
     kernel.run(replay, "perf_kernel");
     return seconds_since(t0);
   };
+  const auto time_engine_probe = [&](SimProbe* probe) {
+    return time_engine_cfg(eng_cfg, probe);
+  };
   const auto time_engine = [&]() { return time_engine_probe(nullptr); };
+  const auto time_heap = [&]() { return time_engine_cfg(heap_cfg, nullptr); };
   const auto time_report = [&]() {
     ReportProbe probe;
     const double s = time_engine_probe(&probe);
@@ -164,10 +177,11 @@ int run(Flags& flags) {
     return time_engine_probe(&probe);
   };
 
-  // One warm-up pass, then `reps` interleaved passes (noise hits all five
+  // One warm-up pass, then `reps` interleaved passes (noise hits all six
   // kernels alike); best-of wins.
   time_npu();
   time_engine();
+  time_heap();
   time_report();
   time_audit();
   time_flight();
@@ -177,6 +191,7 @@ int run(Flags& flags) {
   for (int r = 0; r < reps; ++r) {
     keep_best(npu, time_npu(), r);
     keep_best(engine, time_engine(), r);
+    keep_best(engine_heap, time_heap(), r);
     keep_best(engine_report, time_report(), r);
     keep_best(engine_audit, time_audit(), r);
     keep_best(engine_flight, time_flight(), r);
@@ -184,11 +199,14 @@ int run(Flags& flags) {
 
   // The two reporting kernels must agree exactly — this bench doubles as a
   // cheap end-to-end equivalence check (the real one is the golden suite).
+  // check_npu comes from the seed kernel's own heap, check_engine from the
+  // wheel-backed SimEngine, so this also cross-checks the two queues.
   if (report_to_json(check_npu) != report_to_json(check_engine)) {
     throw std::logic_error("perf_kernel: npu and engine reports differ");
   }
 
   const double speedup = npu.best_seconds / engine.best_seconds;
+  const double wheel_speedup = engine_heap.best_seconds / engine.best_seconds;
   const auto overhead_vs_engine = [&](const Measurement& m) {
     return m.best_seconds / engine.best_seconds - 1.0;
   };
@@ -200,14 +218,16 @@ int run(Flags& flags) {
               "best of %d ===\n\n",
               static_cast<unsigned long long>(npu.packets), cores, reps);
   Table out({"kernel", "wall ms", "Mpps", "vs npu"});
-  for (const Measurement* m : {&npu, &engine, &engine_report, &engine_audit,
-                               &engine_flight}) {
+  for (const Measurement* m : {&npu, &engine, &engine_heap, &engine_report,
+                               &engine_audit, &engine_flight}) {
     out.add_row({m->variant, Table::num(m->best_seconds * 1e3, 2),
                  Table::num(m->mpps(), 2),
                  Table::num(npu.best_seconds / m->best_seconds, 2) + "x"});
   }
   std::printf("%s\n", out.to_string().c_str());
   std::printf("engine speedup over npu (null probes): %.2fx\n", speedup);
+  std::printf("TimingWheel speedup over EventHeap (bare engine): %.2fx\n",
+              wheel_speedup);
   std::printf("ReportProbe overhead over null probes: %.1f%%\n",
               probe_overhead * 100.0);
   std::printf("FlowAuditProbe overhead over null probes: %.1f%%\n",
@@ -224,8 +244,8 @@ int run(Flags& flags) {
     w.field("reps", static_cast<std::int64_t>(reps));
     w.key("kernels");
     w.begin_array();
-    for (const Measurement* m : {&npu, &engine, &engine_report, &engine_audit,
-                                 &engine_flight}) {
+    for (const Measurement* m : {&npu, &engine, &engine_heap, &engine_report,
+                                 &engine_audit, &engine_flight}) {
       w.begin_object();
       w.field("name", m->variant);
       w.field("best_seconds", m->best_seconds);
@@ -234,6 +254,7 @@ int run(Flags& flags) {
     }
     w.end_array();
     w.field("engine_speedup_vs_npu", speedup);
+    w.field("wheel_speedup_vs_heap", wheel_speedup);
     w.field("report_probe_overhead", probe_overhead);
     w.field("audit_probe_overhead", audit_overhead);
     w.field("flight_probe_overhead", flight_overhead);

@@ -83,6 +83,10 @@ HarnessOptions parse_harness_flags(Flags& flags) {
   if (!opts.fault_timeline_path.empty() && opts.faults == nullptr) {
     throw std::invalid_argument("--fault-timeline requires --faults=SPEC");
   }
+  const std::string queue_spec = flags.get_string("event-queue", "");
+  if (!queue_spec.empty()) {
+    opts.event_queue = parse_event_queue_kind(queue_spec);
+  }
   return opts;
 }
 
@@ -119,13 +123,18 @@ bool any_probe_configured(const HarnessOptions& opts) {
 SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
                        const HarnessOptions& opts) {
   // A --faults plan on the command line applies to every scenario in the
-  // grid that does not already carry its own plan.
-  ScenarioConfig faulted_config;
+  // grid that does not already carry its own plan; --event-queue overrides
+  // every scenario's queue selection.
+  ScenarioConfig overridden_config;
   const ScenarioConfig* effective = &config;
-  if (opts.faults != nullptr && config.faults == nullptr) {
-    faulted_config = config;
-    faulted_config.faults = opts.faults;
-    effective = &faulted_config;
+  const bool apply_faults = opts.faults != nullptr && config.faults == nullptr;
+  const bool apply_queue =
+      opts.event_queue.has_value() && *opts.event_queue != config.event_queue;
+  if (apply_faults || apply_queue) {
+    overridden_config = config;
+    if (apply_faults) overridden_config.faults = opts.faults;
+    if (apply_queue) overridden_config.event_queue = *opts.event_queue;
+    effective = &overridden_config;
   }
   if (!any_probe_configured(opts) && opts.fault_timeline_path.empty()) {
     return run_scenario(*effective, scheduler);
@@ -229,7 +238,10 @@ SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
 }
 
 ExperimentPlan::JobRunner observed_runner(const HarnessOptions& opts) {
-  if (!any_probe_configured(opts) && opts.faults == nullptr) return {};
+  if (!any_probe_configured(opts) && opts.faults == nullptr &&
+      !opts.event_queue.has_value()) {
+    return {};
+  }
   return [opts](const ScenarioConfig& config, Scheduler& scheduler) {
     return run_observed(config, scheduler, opts);
   };

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,9 @@ struct HarnessOptions {
   std::string faults_spec;             ///< raw --faults grammar, for display
   std::shared_ptr<const FaultPlan> faults;  ///< parsed plan; null = none
   std::string fault_timeline_path;     ///< empty = no FaultProbe artifact
+  /// --event-queue=wheel|heap override; unset leaves each scenario's own
+  /// ScenarioConfig::event_queue (the wheel default) untouched.
+  std::optional<EventQueueKind> event_queue;
 };
 
 /// Consumes the flags every experiment binary shares:
@@ -63,6 +67,8 @@ struct HarnessOptions {
 ///                             e.g. "down:3@10ms;up:3@30ms")
 ///   --fault-timeline=P        per-run fault timeline + recovery metrics
 ///                             (stem P); requires --faults
+///   --event-queue=K           completion-queue implementation: wheel
+///                             (default) or heap (the differential oracle)
 /// Call before flags.finish().
 HarnessOptions parse_harness_flags(Flags& flags);
 

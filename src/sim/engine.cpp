@@ -39,6 +39,7 @@ SimEngine::SimEngine(SimEngineConfig config, Scheduler& scheduler,
   }
   views_.resize(config_.num_cores);
   for (CoreView& v : views_) v.idle_since = 0;  // all idle at t = 0
+  completions_.select(config_.event_queue);
 
   if (config_.faults != nullptr && !config_.faults->empty()) {
     config_.faults->validate(config_.num_cores);

@@ -11,9 +11,12 @@ namespace laps {
 /// Binary min-heap event queue for discrete-event simulation.
 ///
 /// Events are ordered by (time, insertion sequence): two events at the same
-/// tick pop in the order they were scheduled, which makes simulations fully
-/// deterministic — std::priority_queue alone does not guarantee a stable
-/// order for ties. `Ev` must expose a public `TimeNs time` member.
+/// tick pop in the order they were scheduled — the FIFO invariant. This
+/// makes simulations fully deterministic (std::priority_queue alone does
+/// not guarantee a stable order for ties) and is the ordering contract the
+/// TimingWheel replicates, so the differential suite can demand
+/// bit-identical runs from either queue. `Ev` must expose a public
+/// `TimeNs time` member.
 ///
 /// The simulator's working set is tiny (one pending arrival plus one
 /// completion per busy core), so a flat binary heap beats fancier calendar
@@ -54,7 +57,16 @@ class EventHeap {
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
-  void clear() { heap_.clear(); }
+
+  /// Empties the heap and resets the insertion sequence, so a cleared heap
+  /// replays a schedule bit-identically to a fresh one. (Without the seq
+  /// reset, same-tick ties after a clear would still order correctly among
+  /// themselves, but any serialization of the counter — or a differential
+  /// run against a fresh queue — would diverge.)
+  void clear() {
+    heap_.clear();
+    next_seq_ = 0;
+  }
 
  private:
   struct Node {

@@ -1,0 +1,20 @@
+#include "sim/timing_wheel.h"
+
+namespace laps {
+
+const char* event_queue_kind_name(EventQueueKind kind) {
+  switch (kind) {
+    case EventQueueKind::kWheel: return "wheel";
+    case EventQueueKind::kHeap: return "heap";
+  }
+  return "?";
+}
+
+EventQueueKind parse_event_queue_kind(const std::string& spec) {
+  if (spec == "wheel") return EventQueueKind::kWheel;
+  if (spec == "heap") return EventQueueKind::kHeap;
+  throw std::invalid_argument("--event-queue: expected 'wheel' or 'heap', got '" +
+                              spec + "'");
+}
+
+}  // namespace laps

@@ -1,0 +1,544 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/time.h"
+
+namespace laps {
+
+/// Which completion-queue implementation a simulation uses. The hierarchical
+/// TimingWheel is the default kernel queue; the binary EventHeap is retained
+/// as the differential oracle behind `--event-queue=heap` (the same pattern
+/// that kept the seed Npu around when SimEngine replaced it).
+enum class EventQueueKind : std::uint8_t {
+  kWheel,  ///< hierarchical timing wheel (O(1) amortized, the default)
+  kHeap,   ///< binary EventHeap (O(log n), the differential oracle)
+};
+
+/// "wheel" / "heap".
+const char* event_queue_kind_name(EventQueueKind kind);
+
+/// Parses the --event-queue flag value ("wheel" or "heap"). Throws
+/// std::invalid_argument on anything else, naming the offending value.
+EventQueueKind parse_event_queue_kind(const std::string& spec);
+
+/// Hierarchical timing-wheel event queue for discrete-event simulation.
+///
+/// Drop-in replacement for EventHeap<Ev> on the simulator's completion
+/// path: same API, same ordering contract. Events are ordered by
+/// (time, insertion sequence) — two events at the same tick pop in the
+/// order they were scheduled (the FIFO invariant the differential suite
+/// asserts bit-identically against the heap).
+///
+/// Structure (hashed hierarchical wheel with a wide near level; one tick =
+/// 1 ns):
+///
+///  - Level 0 is 512 single-tick slots (kLevel0Bits = 9): slot index =
+///    time & 511, so a level-0 slot holds only equal-time events. The width
+///    is sized so a simulator's whole completion horizon (service latency
+///    spread, ~100-200 ns) fits in the current 512-tick block and nearly
+///    every push and pop stays on the level-0 fast path. Above it sit 9
+///    levels of 64 slots (kSlotBits = 6): level k >= 1 buckets events by
+///    the base-64 digit at bit 9 + 6(k-1), a span of 2^(9+6(k-1)) ticks per
+///    slot, and level 9 reaches bit 62 — any representable TimeNs.
+///  - Level-0 slots store their event *inline* (no node, no indirection):
+///    a push in the current block is a bitmap OR plus one store into the
+///    slot's cache line, and a pop reads it straight back. Only same-tick
+///    ties overflow into a seq-sorted list of pooled nodes hanging off the
+///    slot (the inline seat always holds the slot's lowest seq). Upper
+///    levels are intrusive singly-linked lists of pooled nodes (index
+///    freelist, no per-event allocation) appended at the tail and scanned
+///    only when a slot becomes the minimum.
+///  - An event is inserted at the level of its highest digit that differs
+///    from the wheel's current position (one XOR + bit_width, no search).
+///    Placing by differing digit — not by raw distance — means every event
+///    at level k agrees with the position on all digits above k, so a slot
+///    never mixes events from different wheel revolutions and, per level,
+///    occupied slot indices never precede the current digit. Occupancy is
+///    bitmapped (level 0: eight uint64 words — exactly one cache line;
+///    upper levels: one uint64 each, plus a per-level summary mask), so
+///    the earliest occupied slot is a countr_zero away.
+///  - Digit-difference placement gives a total order across levels: after
+///    stale slots are normalized (below), every event at level j is
+///    strictly earlier than every event at level k > j, so the global
+///    minimum lives in the first occupied slot of the *lowest* occupied
+///    level. At level 0 its time is pure arithmetic — all level-0
+///    residents share the position's 512-tick block, so the minimum's time
+///    is (position & ~511) | slot, decided by the bitmap line alone.
+///  - The minimum is memoized. A push can only improve it (compare +
+///    overwrite); pop() refreshes it eagerly because the caller's next
+///    move is almost always a peek. A pop at level 0 never crosses a
+///    512-tick block boundary (the popped event shares the position's
+///    block), so its refresh is a fused fast path: clear the bit, scan the
+///    same bitmap line, done — no normalization check needed.
+///  - Cascading happens only where it pays. (1) Stale slots: when a pop
+///    advances the wheel into a multi-tick slot's span, that slot's
+///    remaining events now agree with the position on their level's digit;
+///    they are redistributed to strictly lower levels (no position change
+///    needed) so the cross-level order above stays exact. Staleness can
+///    only appear at levels whose digit changed since the last check, so
+///    normalization remembers its last position and skips untouched
+///    levels. (2) Long far slots: when the minimum sits at level k > 0 in
+///    a slot holding more than kCascadeScanLimit events, pop()
+///    redistributes the slot before extracting — otherwise each pop would
+///    rescan the same long list. Short far slots are popped by direct
+///    unlink with no cascade at all. Every event cascades at most once per
+///    level either way, so push + pop stay O(1) amortized.
+///
+/// Clock contract: the wheel tracks the time of the last popped event and
+/// rejects pushes behind it (a discrete-event simulator never schedules
+/// into the past). `top()`/`top_time()` never move the wheel position —
+/// only pop() commits an advance — so callers may interleave earlier
+/// same-direction pushes between peeks, exactly as SimEngine does when an
+/// arrival precedes the next completion. Times must be non-negative. Ev
+/// must expose a `.time` member and be default-constructible (the inline
+/// level-0 seats are value slots).
+///
+/// Cancellation is the engine's lazy generation-counter scheme: stale
+/// events pop normally and the caller discards them on a gen mismatch, so
+/// the wheel needs no remove() — identical to the heap's contract with the
+/// fault engine.
+template <typename Ev>
+class TimingWheel {
+ public:
+  static constexpr int kLevel0Bits = 9;
+  static constexpr std::size_t kLevel0Slots = std::size_t{1} << kLevel0Bits;
+  static constexpr std::uint64_t kLevel0Mask = kLevel0Slots - 1;
+  static constexpr int kSlotBits = 6;
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+  static constexpr std::uint64_t kSlotMask = kSlots - 1;
+  static constexpr int kLevels = 10;  // level 0 + 9 upper levels
+  static constexpr std::size_t kCascadeScanLimit = 8;
+
+  void push(Ev event) {
+    const TimeNs t = event.time;
+    if (t < 0) throw std::logic_error("TimingWheel: negative event time");
+    if (size_ == 0 && t < cur_) {
+      cur_ = t;
+    } else if (t < cur_) {
+      throw std::logic_error("TimingWheel: push into the past (t=" +
+                             std::to_string(t) + " < cur=" +
+                             std::to_string(cur_) + ")");
+    }
+    ++size_;
+    // Level-0 fast path: same 512-tick block as the position -> the event
+    // lives inline in its single-tick slot, no node allocation.
+    const std::uint64_t diff =
+        static_cast<std::uint64_t>(t) ^ static_cast<std::uint64_t>(cur_);
+    if (diff < kLevel0Slots) {
+      const std::size_t slot = static_cast<std::size_t>(t) & kLevel0Mask;
+      std::uint64_t& word = occ0_[slot >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (slot & 63);
+      if ((word & bit) == 0) {
+        word |= bit;
+        Slot0& s = slots0_[slot];
+        s.ev = std::move(event);
+        s.seq = next_seq_++;
+      } else {
+        // Same-tick tie: a direct push always carries the largest seq so
+        // far, so it appends to the slot's overflow list.
+        const std::int32_t node = alloc_node(std::move(event));
+        Slot0& s = slots0_[slot];
+        if (s.tail == -1) {
+          s.head = s.tail = node;
+        } else {
+          nodes_[s.tail].next = node;
+          s.tail = node;
+        }
+      }
+      if (cache_valid_ && t < cached_.time) {
+        cached_.time = t;
+        cached_.level = 0;
+        cached_.slot = slot;
+        cached_.node = -1;
+        cached_.prev = -1;
+        cached_.scan_len = 1;
+      }
+      return;
+    }
+    // Far push: diff >= 512 guarantees place() targets level >= 1 (it only
+    // re-files into level 0 when called from cascade).
+    const std::int32_t node = alloc_node(std::move(event));
+    const Placement at = place(node, t);
+    if (cache_valid_ && t < cached_.time) {
+      cached_.time = t;
+      cached_.level = at.level;
+      cached_.slot = at.slot;
+      cached_.node = node;
+      cached_.prev = at.prev;
+      cached_.scan_len = 1;
+    }
+  }
+
+  const Ev& top() {
+    if (!cache_valid_) locate_slow();
+    if (cached_.level == 0) return slots0_[cached_.slot].ev;
+    return nodes_[cached_.node].event;
+  }
+
+  TimeNs top_time() {
+    if (!cache_valid_) locate_slow();
+    return cached_.time;
+  }
+
+  Ev pop() {
+    // A valid memo implies a non-empty wheel, so the hot path is gated on
+    // one flag; locate_slow() throws on empty.
+    if (!cache_valid_) locate_slow();
+    while (cached_.level != 0 && cached_.scan_len > kCascadeScanLimit) {
+      cascade(cached_.level, cached_.slot, /*advance=*/true);
+      locate_slow();
+    }
+    if (cached_.level == 0) {
+      // Level-0 fast path. The popped event shares the position's 512-tick
+      // block, so this pop never crosses a block boundary: no slot can go
+      // stale and the eager re-locate reduces to the already loaded
+      // occupancy line.
+      const std::size_t slot = cached_.slot;
+      Slot0& s = slots0_[slot];
+      Ev out = std::move(s.ev);
+      cur_ = cached_.time;
+      --size_;
+      const std::int32_t h = s.head;
+      if (h != -1) {  // promote the next same-tick tie into the inline seat
+        s.ev = std::move(nodes_[h].event);
+        s.seq = nodes_[h].seq;
+        const std::int32_t nx = nodes_[h].next;
+        s.head = nx;
+        if (nx == -1) s.tail = -1;
+        free_node(h);
+        return out;
+      }
+      occ0_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+      std::size_t w = slot >> 6;
+      while (w < occ0_.size() && occ0_[w] == 0) ++w;
+      if (w < occ0_.size()) {
+        const std::size_t nslot =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(occ0_[w]));
+        cached_.slot = nslot;
+        cached_.time = static_cast<TimeNs>(
+            (static_cast<std::uint64_t>(cur_) & ~kLevel0Mask) |
+            static_cast<std::uint64_t>(nslot));
+        // The next pop reads this slot's inline seat; start pulling its
+        // line now so the (cycling, cache-cold) access overlaps the
+        // caller's work between completions.
+        __builtin_prefetch(&slots0_[nslot], 1);
+        return out;
+      }
+      cache_valid_ = false;
+      if (size_ != 0) locate_slow();
+      return out;
+    }
+    const std::int32_t node = cached_.node;
+    unlink(cached_.level, cached_.slot, node, cached_.prev);
+    cur_ = cached_.time;
+    Ev out = std::move(nodes_[node].event);
+    free_node(node);
+    --size_;
+    cache_valid_ = false;
+    // Eager re-locate: the caller's next move is almost always a peek
+    // (is the next completion before the next arrival?), and computing the
+    // new minimum here lets it overlap the caller's independent work.
+    if (size_ != 0) locate_slow();
+    return out;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void clear() {
+    occ0_.fill(0);
+    slots0_.fill(Slot0{});
+    for (int u = 0; u < kLevels - 1; ++u) {
+      occ_[u] = 0;
+      slots_[u].fill(Slot{});
+    }
+    level_mask_ = 0;
+    nodes_.clear();
+    free_head_ = -1;
+    size_ = 0;
+    cur_ = 0;
+    norm_pos_ = 0;
+    next_seq_ = 0;
+    cascades_ = 0;
+    cache_valid_ = false;
+  }
+
+  std::uint64_t cascades() const { return cascades_; }
+
+ private:
+  // A level-0 (single-tick) slot: the event with the slot's lowest seq
+  // sits inline; same-tick ties overflow into a seq-sorted node list.
+  struct alignas(32) Slot0 {
+    Ev ev{};
+    std::uint64_t seq = 0;
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
+  };
+
+  struct Slot {
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
+  };
+
+  struct Node {
+    Ev event;
+    std::uint64_t seq = 0;
+    std::int32_t next = -1;
+  };
+
+  struct Best {
+    TimeNs time = 0;
+    int level = 0;
+    std::size_t slot = 0;
+    std::int32_t node = -1;  // unused at level 0 (the seat is inline)
+    std::int32_t prev = -1;
+    std::size_t scan_len = 0;
+  };
+
+  static int shift_for(int level) {
+    return kLevel0Bits + kSlotBits * (level - 1);
+  }
+
+  static int level_for(TimeNs t, TimeNs cur) {
+    const std::uint64_t diff =
+        static_cast<std::uint64_t>(t) ^ static_cast<std::uint64_t>(cur);
+    const int b = std::bit_width(diff);
+    return b <= kLevel0Bits ? 0 : (b - kLevel0Bits - 1) / kSlotBits + 1;
+  }
+
+  static std::size_t slot_for(TimeNs t, int level) {
+    if (level == 0) {
+      return static_cast<std::size_t>(static_cast<std::uint64_t>(t) &
+                                      kLevel0Mask);
+    }
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(t) >> shift_for(level)) & kSlotMask);
+  }
+
+  std::size_t digit_of_cur(int level) const { return slot_for(cur_, level); }
+
+  std::int32_t alloc_node(Ev&& event) {
+    std::int32_t node;
+    if (free_head_ != -1) {
+      node = free_head_;
+      free_head_ = nodes_[node].next;
+      nodes_[node].event = std::move(event);
+    } else {
+      node = static_cast<std::int32_t>(nodes_.size());
+      nodes_.push_back(Node{std::move(event), 0, -1});
+    }
+    nodes_[node].seq = next_seq_++;
+    nodes_[node].next = -1;
+    return node;
+  }
+
+  void free_node(std::int32_t node) {
+    nodes_[node].next = free_head_;
+    free_head_ = node;
+  }
+
+  struct Placement {
+    int level;
+    std::size_t slot;
+    std::int32_t prev;
+  };
+
+  // Files an existing node at its proper (level, slot) for the current
+  // position. Far pushes land at level >= 1; cascade() may re-file into
+  // level 0, where the event moves into the inline seat (freeing the node)
+  // or into the slot's seq-sorted overflow list. The returned prev is only
+  // meaningful for upper levels (level-0 pops never unlink).
+  Placement place(std::int32_t node, TimeNs t) {
+    const int level = level_for(t, cur_);
+    const std::size_t slot = slot_for(t, level);
+    if (level == 0) {
+      std::uint64_t& word = occ0_[slot >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (slot & 63);
+      Slot0& s = slots0_[slot];
+      if ((word & bit) == 0) {
+        word |= bit;
+        s.ev = std::move(nodes_[node].event);
+        s.seq = nodes_[node].seq;
+        free_node(node);
+        return Placement{0, slot, -1};
+      }
+      if (nodes_[node].seq < s.seq) {
+        // The cascaded event predates the inline resident: it takes the
+        // inline seat and the resident is demoted to the overflow head
+        // (its seq is still below every overflow seq).
+        std::swap(s.ev, nodes_[node].event);
+        std::swap(s.seq, nodes_[node].seq);
+        nodes_[node].next = s.head;
+        s.head = node;
+        if (s.tail == -1) s.tail = node;
+        return Placement{0, slot, -1};
+      }
+      std::int32_t prev = -1;
+      std::int32_t at = s.head;
+      while (at != -1 && nodes_[at].seq < nodes_[node].seq) {
+        prev = at;
+        at = nodes_[at].next;
+      }
+      nodes_[node].next = at;
+      if (prev == -1) {
+        s.head = node;
+      } else {
+        nodes_[prev].next = node;
+      }
+      if (at == -1) s.tail = node;
+      return Placement{0, slot, -1};
+    }
+    const int u = level - 1;
+    occ_[u] |= std::uint64_t{1} << slot;
+    level_mask_ |= std::uint32_t{1} << level;
+    Slot& s = slots_[u][slot];
+    const std::int32_t prev = s.tail;
+    if (prev == -1) {
+      s.head = s.tail = node;
+    } else {
+      nodes_[prev].next = node;
+      s.tail = node;
+    }
+    return Placement{level, slot, prev};
+  }
+
+  // Upper levels only: level-0 entries are popped inline, never unlinked.
+  void unlink(int level, std::size_t slot, std::int32_t node,
+              std::int32_t prev) {
+    const int u = level - 1;
+    Slot& s = slots_[u][slot];
+    if (prev == -1) {
+      s.head = nodes_[node].next;
+    } else {
+      nodes_[prev].next = nodes_[node].next;
+    }
+    if (s.tail == node) s.tail = prev;
+    if (s.head == -1) {
+      occ_[u] &= ~(std::uint64_t{1} << slot);
+      if (occ_[u] == 0) level_mask_ &= ~(std::uint32_t{1} << level);
+    }
+  }
+
+  void cascade(int level, std::size_t slot, bool advance) {
+    const int u = level - 1;
+    if (advance) {
+      const int shift = shift_for(level);
+      const TimeNs start = static_cast<TimeNs>(
+          ((static_cast<std::uint64_t>(cur_) >> (shift + kSlotBits))
+           << (shift + kSlotBits)) |
+          (static_cast<std::uint64_t>(slot) << shift));
+      if (start > cur_) cur_ = start;
+    }
+    std::int32_t node = slots_[u][slot].head;
+    slots_[u][slot] = Slot{};
+    occ_[u] &= ~(std::uint64_t{1} << slot);
+    if (occ_[u] == 0) level_mask_ &= ~(std::uint32_t{1} << level);
+    while (node != -1) {
+      const std::int32_t next = nodes_[node].next;
+      nodes_[node].next = -1;
+      place(node, nodes_[node].event.time);
+      node = next;
+    }
+    ++cascades_;
+  }
+
+  void normalize() {
+    // Staleness can only appear at a level whose digit of the position
+    // changed since the last normalization, so only recheck levels up to
+    // the highest moved digit.
+    const int moved = level_for(cur_, norm_pos_);
+    std::uint32_t mask = level_mask_ & ((std::uint32_t{2} << moved) - 1);
+    while (mask != 0) {
+      const int level = std::countr_zero(mask);
+      mask &= mask - 1;
+      const auto slot =
+          static_cast<std::size_t>(std::countr_zero(occ_[level - 1]));
+      if (slot == digit_of_cur(level)) cascade(level, slot, /*advance=*/false);
+    }
+    norm_pos_ = cur_;
+  }
+
+  // Out-of-line minimum search, run only when the memo is invalid (fresh
+  // or just-emptied wheel, upper-level pop, cascade). Keeping it cold keeps
+  // the fast paths small. level_mask_ tracks upper levels only; level 0 is
+  // decided by its occupancy line directly.
+  [[gnu::noinline]] void locate_slow() {
+    if (size_ == 0) throw std::logic_error("TimingWheel: top on empty");
+    normalize();
+    Best best;
+    std::size_t w = (static_cast<std::size_t>(cur_) & kLevel0Mask) >> 6;
+    while (w < occ0_.size() && occ0_[w] == 0) ++w;
+    if (w < occ0_.size()) {
+      // All level-0 residents share the position's 512-tick block (words
+      // below the position's are empty), so the minimum's time is pure
+      // arithmetic: one bitmap cache line decides it without touching the
+      // slot.
+      best.level = 0;
+      best.slot =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(occ0_[w]));
+      best.time = static_cast<TimeNs>(
+          (static_cast<std::uint64_t>(cur_) & ~kLevel0Mask) |
+          static_cast<std::uint64_t>(best.slot));
+      best.node = -1;
+      best.prev = -1;
+      best.scan_len = 1;
+    } else {
+      best.level = std::countr_zero(level_mask_);
+      const int u = best.level - 1;
+      best.slot = static_cast<std::size_t>(std::countr_zero(occ_[u]));
+      std::int32_t node = slots_[u][best.slot].head;
+      best.node = node;
+      best.prev = -1;
+      best.scan_len = 1;
+      best.time = nodes_[node].event.time;
+      std::uint64_t best_seq = nodes_[node].seq;
+      std::int32_t prev = node;
+      for (std::int32_t at = nodes_[node].next; at != -1;
+           prev = at, at = nodes_[at].next) {
+        ++best.scan_len;
+        const Node& n = nodes_[at];
+        if (n.event.time < best.time ||
+            (n.event.time == best.time && n.seq < best_seq)) {
+          best.time = n.event.time;
+          best_seq = n.seq;
+          best.node = at;
+          best.prev = prev;
+        }
+      }
+    }
+    cached_ = best;
+    cache_valid_ = true;
+  }
+
+  // Hot scalars first (memo + position + size share the leading cache
+  // line), then the level-0 occupancy bitmap on a line of its own.
+  alignas(64) Best cached_{};
+  bool cache_valid_ = false;
+  TimeNs cur_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+  alignas(64) std::array<std::uint64_t, kLevel0Slots / 64> occ0_{};
+  std::array<std::uint64_t, kLevels - 1> occ_{};
+  std::uint32_t level_mask_ = 0;
+  std::array<Slot0, kLevel0Slots> slots0_{};
+  std::array<std::array<Slot, kSlots>, kLevels - 1> slots_ = init_upper();
+  std::vector<Node> nodes_;
+  std::int32_t free_head_ = -1;
+  TimeNs norm_pos_ = 0;
+  std::uint64_t cascades_ = 0;
+
+  static std::array<std::array<Slot, kSlots>, kLevels - 1> init_upper() {
+    std::array<std::array<Slot, kSlots>, kLevels - 1> a;
+    for (auto& level : a) level.fill(Slot{});
+    return a;
+  }
+};
+
+}  // namespace laps

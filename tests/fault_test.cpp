@@ -528,5 +528,51 @@ TEST(FaultScenario, ReferenceKernelRejectsFaultPlans) {
   EXPECT_THROW(run_scenario_reference(cfg, fcfs), std::invalid_argument);
 }
 
+// ------------------------------------------------ wheel-mode chaos slice ---
+
+// A 20-schedule slice of the chaos_soak invariant grid run with the
+// TimingWheel completion queue: randomized-but-seeded fault plans
+// (down/up/slow/stall plus traffic bursts) across rotating schedulers, with
+// the soak harness's core invariants asserted per schedule. The full grid
+// lives in bench/chaos_soak (CI runs it sanitized with --event-queue=wheel);
+// this slice keeps the wheel+faults interaction — lazily cancelled
+// completions, stall wake-ups, mid-outage cascades — inside plain ctest.
+TEST(FaultScenario, WheelSurvivesRandomChaosScheduleSlice) {
+  constexpr int kSchedules = 20;
+  for (int i = 0; i < kSchedules; ++i) {
+    const std::uint64_t seed = 9000 + static_cast<std::uint64_t>(i);
+    ScenarioConfig cfg = fault_scenario(seed, "");
+    cfg.name = "wheel_chaos" + std::to_string(i);
+    cfg.event_queue = EventQueueKind::kWheel;
+
+    RandomFaultParams params;
+    params.horizon = from_us(cfg.seconds * 1e6);
+    params.num_cores = cfg.num_cores;
+    cfg.faults =
+        std::make_shared<const FaultPlan>(random_fault_plan(seed, params));
+
+    std::unique_ptr<Scheduler> scheduler;
+    switch (i % 3) {
+      case 0: scheduler = std::make_unique<FcfsScheduler>(); break;
+      case 1: scheduler = std::make_unique<StaticHashScheduler>(); break;
+      default: scheduler = std::make_unique<LapsScheduler>(laps_config(1));
+    }
+    const SimReport report = run_scenario(cfg, *scheduler);
+    const std::string ctx =
+        cfg.name + " spec=" + cfg.faults->to_spec();
+
+    // Conservation: core failures flush and dead-route as *drops*, never
+    // as lost accounting, and the drain leaves nothing in flight.
+    EXPECT_EQ(report.offered, report.delivered + report.dropped) << ctx;
+    EXPECT_EQ(report.in_flight_at_end, 0u) << ctx;
+    // Graceful degradation: every scheduler reroutes around dead cores, so
+    // the engine's dead-core backstop never fires.
+    EXPECT_EQ(report.extra.at("fault_dead_route_drops"), 0.0) << ctx;
+    // The schedule actually ran (the slice must not silently no-op).
+    EXPECT_GT(report.extra.at("fault_events"), 0.0) << ctx;
+    EXPECT_GT(report.offered, 0u) << ctx;
+  }
+}
+
 }  // namespace
 }  // namespace laps
