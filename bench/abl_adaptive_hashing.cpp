@@ -3,7 +3,7 @@
 // combination the paper's Sec. VI calls "complementary to LAPS"), and LAPS.
 //
 // Usage: abl_adaptive_hashing [--seconds=S] [--traces=...] [--load=1.05]
-//                             [--jobs=N] [--json=PATH]
+//                             [--jobs=N] [--json=PATH] [--scheduler=LIST]
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -11,12 +11,8 @@
 #include <string>
 #include <vector>
 
-#include "baselines/adaptive_hash.h"
-#include "baselines/afs.h"
-#include "baselines/batch.h"
-#include "baselines/static_hash.h"
-#include "core/laps.h"
 #include "exp/harness.h"
+#include "exp/scheduler_registry.h"
 #include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "trace/synthetic.h"
@@ -57,22 +53,17 @@ int run(laps::Flags& flags) {
   auto store = std::make_shared<laps::TraceStore>();
   options.trace_factory = store->factory();
 
-  const std::vector<laps::SchedulerSpec> schedulers = {
-      {"StaticHash",
-       [] { return std::make_unique<laps::StaticHashScheduler>(); }},
-      {"AFS", [] { return std::make_unique<laps::AfsScheduler>(); }},
-      {"Batch", [] { return std::make_unique<laps::BatchScheduler>(); }},
-      {"AdaptiveHash",
-       [] { return std::make_unique<laps::AdaptiveHashScheduler>(); }},
-      {"Adaptive+AFD",
-       [] { return std::make_unique<laps::CombinedAdaptiveScheduler>(); }},
-      {"LAPS",
-       []() -> std::unique_ptr<laps::Scheduler> {
-         laps::LapsConfig laps_cfg;
-         laps_cfg.num_services = 1;
-         return std::make_unique<laps::LapsScheduler>(laps_cfg);
-       }},
-  };
+  // Registry specs; --scheduler=LIST replaces the whole table.
+  const std::vector<laps::SchedulerSpec> schedulers =
+      laps::schedulers_or(harness,
+                          {
+                              laps::make_scheduler_spec("hash"),
+                              laps::make_scheduler_spec("afs"),
+                              laps::make_scheduler_spec("batch"),
+                              laps::make_scheduler_spec("adaptive"),
+                              laps::make_scheduler_spec("adaptive-afd"),
+                              laps::make_scheduler_spec("laps:services=1"),
+                          });
 
   laps::ExperimentPlan plan(options.seed);
   plan.add_grid(traces, schedulers, {options.seed},

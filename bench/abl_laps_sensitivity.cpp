@@ -12,8 +12,8 @@
 #include <utility>
 #include <vector>
 
-#include "core/laps.h"
 #include "exp/harness.h"
+#include "exp/scheduler_registry.h"
 #include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
@@ -32,57 +32,44 @@ int run(laps::Flags& flags) {
   auto store = std::make_shared<laps::TraceStore>();
   options.trace_factory = store->factory();
 
-  laps::LapsConfig base;
-  base.num_services = 1;
+  const std::string base = "laps:services=1";
 
-  // Each variant = one (label, LapsConfig) job over the same scenario.
-  std::vector<std::pair<std::string, laps::LapsConfig>> variants;
+  // Each variant = one (label, registry spec) job over the same scenario —
+  // the sweep is written entirely in the --scheduler grammar, so any row
+  // can be reproduced standalone with --scheduler=SPEC on any bench.
+  std::vector<std::pair<std::string, std::string>> variants;
   variants.emplace_back("defaults", base);
   for (std::size_t cap : {64u, 256u, 4096u}) {
-    laps::LapsConfig c = base;
-    c.migration_table_capacity = cap;
-    variants.emplace_back("migration_table=" + std::to_string(cap), c);
+    variants.emplace_back("migration_table=" + std::to_string(cap),
+                          base + ",pins=" + std::to_string(cap));
   }
   for (std::uint32_t thresh : {16u, 28u}) {
-    laps::LapsConfig c = base;
-    c.high_thresh = thresh;
-    variants.emplace_back("high_thresh=" + std::to_string(thresh), c);
+    variants.emplace_back("high_thresh=" + std::to_string(thresh),
+                          base + ",high_th=" + std::to_string(thresh));
   }
   for (std::uint64_t promote : {2u, 32u}) {
-    laps::LapsConfig c = base;
-    c.afd.promote_threshold = promote;
-    variants.emplace_back("promote_threshold=" + std::to_string(promote), c);
+    variants.emplace_back("promote_threshold=" + std::to_string(promote),
+                          base + ",promote=" + std::to_string(promote));
   }
-  {
-    // The paper's threshold-only promotion pins far more flows; with it, a
-    // small migration table evicts live pins, whose flows bounce back to
-    // the hash path and re-migrate — the capacity sensitivity the guarded
-    // default hides.
-    laps::LapsConfig c = base;
-    c.afd.require_beat_afc_min = false;
-    variants.emplace_back("paper promotion rule", c);
-    c.migration_table_capacity = 128;
-    variants.emplace_back("paper rule + table=128", c);
-  }
-  {
-    laps::LapsConfig c = base;
-    c.afd.aging_period = 100'000;
-    variants.emplace_back("afd aging every 100k", c);
-  }
-  {
-    laps::LapsConfig c = base;
-    c.afd.sample_probability = 0.01;
-    variants.emplace_back("afd sampling p=1/100", c);
-  }
+  // The paper's threshold-only promotion pins far more flows; with it, a
+  // small migration table evicts live pins, whose flows bounce back to
+  // the hash path and re-migrate — the capacity sensitivity the guarded
+  // default hides.
+  variants.emplace_back("paper promotion rule", base + ",beat_min=0");
+  variants.emplace_back("paper rule + table=128",
+                        base + ",beat_min=0,pins=128");
+  variants.emplace_back("afd aging every 100k", base + ",aging=100000");
+  variants.emplace_back("afd sampling p=1/100", base + ",sample=0.01");
 
   laps::ExperimentPlan plan(options.seed);
-  for (const auto& [label, laps_cfg] : variants) {
+  for (const auto& [label, spec] : variants) {
+    const auto make = laps::make_scheduler_spec(spec).make;
     plan.add(label, "LAPS", options.seed,
-             [options, trace, laps_cfg, harness]() -> laps::SimReport {
+             [options, trace, make, harness]() -> laps::SimReport {
                const auto cfg =
                    laps::make_single_service_scenario(trace, options, 1.05);
-               laps::LapsScheduler sched(laps_cfg);
-               return laps::run_observed(cfg, sched, harness);
+               auto sched = make();
+               return laps::run_observed(cfg, *sched, harness);
              });
   }
 

@@ -10,9 +10,8 @@
 #include <iostream>
 #include <memory>
 
-#include "baselines/fcfs.h"
-#include "core/laps.h"
 #include "exp/harness.h"
+#include "exp/scheduler_registry.h"
 #include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
@@ -42,20 +41,18 @@ int run(laps::Flags& flags) {
   laps::ExperimentPlan plan(options.seed);
   plan.add("LAPS (preserve order)", "LAPS", options.seed,
            [scenario, harness]() -> laps::SimReport {
-             laps::LapsConfig laps_cfg;
-             laps_cfg.num_services = 1;
-             laps::LapsScheduler sched(laps_cfg);
-             return laps::run_observed(scenario(false), sched, harness);
+             auto sched = laps::make_scheduler("laps:services=1");
+             return laps::run_observed(scenario(false), *sched, harness);
            });
   plan.add("FCFS, no buffer (reorders!)", "FCFS", options.seed,
            [scenario, harness]() -> laps::SimReport {
-             laps::FcfsScheduler sched;
-             return laps::run_observed(scenario(false), sched, harness);
+             auto sched = laps::make_scheduler("fcfs");
+             return laps::run_observed(scenario(false), *sched, harness);
            });
   plan.add("FCFS + reorder buffer", "FCFS", options.seed,
            [scenario, harness]() -> laps::SimReport {
-             laps::FcfsScheduler sched;
-             return laps::run_observed(scenario(true), sched, harness);
+             auto sched = laps::make_scheduler("fcfs");
+             return laps::run_observed(scenario(true), *sched, harness);
            });
 
   laps::ParallelRunner runner(harness.jobs);

@@ -12,8 +12,8 @@
 #include <memory>
 #include <string>
 
-#include "core/laps.h"
 #include "exp/harness.h"
+#include "exp/scheduler_registry.h"
 #include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
@@ -61,11 +61,9 @@ int run(laps::Flags& flags) {
                options.seed, [options, trace, load, gating, harness]() {
                  const auto cfg = laps::make_single_service_scenario(
                      trace, options, load);
-                 laps::LapsConfig laps_cfg;
-                 laps_cfg.num_services = 1;
-                 laps_cfg.power_gating = gating;
-                 laps::LapsScheduler sched(laps_cfg);
-                 return laps::run_observed(cfg, sched, harness);
+                 auto sched = laps::make_scheduler(
+                     gating ? "laps:services=1,power=1" : "laps:services=1");
+                 return laps::run_observed(cfg, *sched, harness);
                });
     }
   }

@@ -15,18 +15,15 @@
 // runs this under ASan/UBSan via scripts/check_sanitize.sh --chaos.
 //
 // Usage: chaos_soak [--schedules=N] [--seed=N] [--seconds=S] [--cores=N]
-//                   [--jobs=N] [--json=PATH]
+//                   [--jobs=N] [--json=PATH] [--scheduler=LIST]
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "baselines/afs.h"
-#include "baselines/fcfs.h"
-#include "baselines/static_hash.h"
-#include "core/laps.h"
 #include "exp/harness.h"
+#include "exp/scheduler_registry.h"
 #include "exp/trace_store.h"
 #include "sim/fault.h"
 #include "sim/flow_audit.h"
@@ -69,18 +66,15 @@ int run(laps::Flags& flags) {
   auto store = std::make_shared<laps::TraceStore>();
   options.trace_factory = store->factory();
 
-  const std::vector<laps::SchedulerSpec> schedulers = {
-      {"FCFS", [] { return std::make_unique<laps::FcfsScheduler>(); }},
-      {"StaticHash",
-       [] { return std::make_unique<laps::StaticHashScheduler>(); }},
-      {"AFS", [] { return std::make_unique<laps::AfsScheduler>(); }},
-      {"LAPS",
-       []() -> std::unique_ptr<laps::Scheduler> {
-         laps::LapsConfig cfg;
-         cfg.num_services = laps::kNumServices;
-         return std::make_unique<laps::LapsScheduler>(cfg);
-       }},
-  };
+  // Registry specs; --scheduler=LIST replaces the rotation (each schedule
+  // still picks one scheduler round-robin from the table).
+  const std::vector<laps::SchedulerSpec> schedulers =
+      laps::schedulers_or(harness, {
+                                       laps::make_scheduler_spec("fcfs"),
+                                       laps::make_scheduler_spec("hash"),
+                                       laps::make_scheduler_spec("afs"),
+                                       laps::make_scheduler_spec("laps"),
+                                   });
   const auto scenario_ids = laps::paper_scenario_ids();
 
   // Fault plans are generated up front so the summary table can show each

@@ -11,7 +11,7 @@
 //
 // Usage: fig7_scheduler_comparison [--seconds=S] [--seed=N] [--cores=N]
 //                                  [--scenarios=T1,T5|all] [--jobs=N]
-//                                  [--json=PATH]
+//                                  [--json=PATH] [--scheduler=LIST]
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -19,10 +19,8 @@
 #include <string>
 #include <vector>
 
-#include "baselines/afs.h"
-#include "baselines/fcfs.h"
-#include "core/laps.h"
 #include "exp/harness.h"
+#include "exp/scheduler_registry.h"
 #include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
@@ -86,16 +84,14 @@ int run(laps::Flags& flags) {
   auto store = std::make_shared<laps::TraceStore>();
   options.trace_factory = store->factory();
 
-  const std::vector<laps::SchedulerSpec> schedulers = {
-      {"FCFS", [] { return std::make_unique<laps::FcfsScheduler>(); }},
-      {"AFS", [] { return std::make_unique<laps::AfsScheduler>(); }},
-      {"LAPS",
-       []() -> std::unique_ptr<laps::Scheduler> {
-         laps::LapsConfig laps_cfg;
-         laps_cfg.num_services = laps::kNumServices;
-         return std::make_unique<laps::LapsScheduler>(laps_cfg);
-       }},
-  };
+  // Registry specs; --scheduler=LIST replaces the whole table. The default
+  // laps spec is the paper configuration (4 services).
+  const std::vector<laps::SchedulerSpec> schedulers =
+      laps::schedulers_or(harness, {
+                                       laps::make_scheduler_spec("fcfs"),
+                                       laps::make_scheduler_spec("afs"),
+                                       laps::make_scheduler_spec("laps"),
+                                   });
 
   laps::ExperimentPlan plan(options.seed);
   plan.add_grid(scenario_ids, schedulers, {options.seed},

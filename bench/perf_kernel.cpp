@@ -21,7 +21,14 @@
 //                  scripts/compare_bench.py
 //   engine+flight  the SimEngine with a FlightRecorderProbe — the
 //                  always-on postmortem ring (--flight-recorder)
+//   engine+laps    the bare SimEngine driven by a real single-service
+//                  LapsScheduler instead of the modulo spreader — the
+//                  full policy cost (AFD access, surplus scan, map-table
+//                  hash, migration-table lookup) on the kernel's fast
+//                  path; gated at 2% by scripts/compare_bench.py so the
+//                  policy/mechanism split cannot tax the scheduler
 //
+
 // A deliberately trivial scheduler (gflow mod cores) keeps scheduling cost
 // out of the measurement, so the comparison isolates queue structure,
 // flow-state layout, and inline-vs-probe measurement.
@@ -46,6 +53,7 @@
 #include <vector>
 
 #include "exp/harness.h"
+#include "exp/scheduler_registry.h"
 #include "sim/engine.h"
 #include "sim/flight_recorder.h"
 #include "sim/flow_audit.h"
@@ -126,10 +134,10 @@ int run(Flags& flags) {
 
   Measurement npu{"npu"}, engine{"engine"}, engine_heap{"engine+heap"},
       engine_report{"engine+report"}, engine_audit{"engine+audit"},
-      engine_flight{"engine+flight"};
+      engine_flight{"engine+flight"}, engine_laps{"engine+laps"};
   npu.packets = engine.packets = engine_heap.packets =
       engine_report.packets = engine_audit.packets = engine_flight.packets =
-          replay.size();
+          engine_laps.packets = replay.size();
   SimReport check_npu, check_engine;
 
   const auto time_npu = [&]() {
@@ -176,6 +184,19 @@ int run(Flags& flags) {
     FlightRecorderProbe probe;  // default ring; dump is never written here
     return time_engine_probe(&probe);
   };
+  // The full scheduling policy on the bare engine: replayed traffic is one
+  // IP-forwarding service, so LAPS runs single-service (the Fig. 9 shape).
+  const auto time_laps = [&]() {
+    // Built via the registry (construction is outside the timed region);
+    // the kernel.run path is identical either way.
+    auto sched_ptr = make_scheduler("laps:services=1");
+    Scheduler& sched = *sched_ptr;
+    replay.rewind();
+    SimEngine kernel(eng_cfg, sched);
+    const auto t0 = std::chrono::steady_clock::now();
+    kernel.run(replay, "perf_kernel");
+    return seconds_since(t0);
+  };
 
   // One warm-up pass, then `reps` interleaved passes (noise hits all six
   // kernels alike); best-of wins.
@@ -185,6 +206,7 @@ int run(Flags& flags) {
   time_report();
   time_audit();
   time_flight();
+  time_laps();
   const auto keep_best = [](Measurement& m, double s, int r) {
     if (r == 0 || s < m.best_seconds) m.best_seconds = s;
   };
@@ -195,6 +217,7 @@ int run(Flags& flags) {
     keep_best(engine_report, time_report(), r);
     keep_best(engine_audit, time_audit(), r);
     keep_best(engine_flight, time_flight(), r);
+    keep_best(engine_laps, time_laps(), r);
   }
 
   // The two reporting kernels must agree exactly — this bench doubles as a
@@ -219,7 +242,7 @@ int run(Flags& flags) {
               static_cast<unsigned long long>(npu.packets), cores, reps);
   Table out({"kernel", "wall ms", "Mpps", "vs npu"});
   for (const Measurement* m : {&npu, &engine, &engine_heap, &engine_report,
-                               &engine_audit, &engine_flight}) {
+                               &engine_audit, &engine_flight, &engine_laps}) {
     out.add_row({m->variant, Table::num(m->best_seconds * 1e3, 2),
                  Table::num(m->mpps(), 2),
                  Table::num(npu.best_seconds / m->best_seconds, 2) + "x"});
@@ -245,7 +268,8 @@ int run(Flags& flags) {
     w.key("kernels");
     w.begin_array();
     for (const Measurement* m : {&npu, &engine, &engine_heap, &engine_report,
-                                 &engine_audit, &engine_flight}) {
+                                 &engine_audit, &engine_flight,
+                                 &engine_laps}) {
       w.begin_object();
       w.field("name", m->variant);
       w.field("best_seconds", m->best_seconds);

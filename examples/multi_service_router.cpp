@@ -5,12 +5,15 @@
 //
 // Usage: multi_service_router [--seconds=0.25] [--seed=N] [--cores=16]
 //                             [--json=PATH] [--timeseries=PATH]
-//                             [--trace-out=PATH]
+//                             [--trace-out=PATH] [--scheduler=SPEC]
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
+#include <vector>
 
 #include "core/laps.h"
 #include "exp/harness.h"
+#include "exp/scheduler_registry.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
 #include "util/tableio.h"
@@ -48,10 +51,16 @@ int run(laps::Flags& flags) {
                     "5.8us + 0.21us/64B"});
   std::cout << services.to_string() << "\n";
 
-  LapsConfig laps_config;
-  laps_config.num_services = kNumServices;
-  LapsScheduler scheduler(laps_config);
-  const SimReport report = run_observed(config, scheduler, harness);
+  // LAPS by default; --scheduler=SPEC swaps in any registry scheduler (the
+  // core-allocation table below is shown only for LAPS-family schedulers).
+  const std::vector<SchedulerSpec> specs =
+      schedulers_or(harness, {make_scheduler_spec("laps")});
+  if (specs.size() != 1) {
+    throw std::invalid_argument("multi_service_router runs one scheduler; "
+                                "pass a single --scheduler spec");
+  }
+  auto scheduler = specs.front().make();
+  const SimReport report = run_observed(config, *scheduler, harness);
 
   Table per_service({"service", "offered", "dropped", "drop%"});
   for (std::size_t s = 0; s < kNumServices; ++s) {
@@ -68,27 +77,31 @@ int run(laps::Flags& flags) {
   std::cout << per_service.to_string() << "\n";
 
   // How the allocator moved cores around: each service started with an
-  // equal share; grants flowed toward the heavy services.
-  const auto& allocator = scheduler.allocator();
+  // equal share; grants flowed toward the heavy services. Only LAPS has a
+  // per-service core allocator to show.
   Table alloc({"service", "cores at end", "core ids"});
-  for (std::size_t s = 0; s < kNumServices; ++s) {
-    std::string ids;
-    for (CoreId c : allocator.cores_of(s)) {
-      if (!ids.empty()) ids += ",";
-      ids += std::to_string(c);
+  if (const auto* laps = dynamic_cast<const LapsScheduler*>(scheduler.get())) {
+    const auto& allocator = laps->allocator();
+    for (std::size_t s = 0; s < kNumServices; ++s) {
+      std::string ids;
+      for (CoreId c : allocator.cores_of(s)) {
+        if (!ids.empty()) ids += ",";
+        ids += std::to_string(c);
+      }
+      alloc.add_row({service_name(static_cast<ServicePath>(s)),
+                     std::to_string(allocator.cores_of(s).size()), ids});
     }
-    alloc.add_row({service_name(static_cast<ServicePath>(s)),
-                   std::to_string(allocator.cores_of(s).size()), ids});
-  }
-  std::cout << alloc.to_string() << "\n";
+    std::cout << alloc.to_string() << "\n";
 
-  std::printf("Core ownership transfers: %.0f (from %.0f requests, %.0f "
-              "denied)\nCold I-cache events: %llu (%.2f%% of packets) — "
+    std::printf("Core ownership transfers: %.0f (from %.0f requests, %.0f "
+                "denied)\n",
+                report.extra.at("core_transfers"),
+                report.extra.at("core_requests"),
+                report.extra.at("core_requests_denied"));
+  }
+  std::printf("Cold I-cache events: %llu (%.2f%% of packets) — "
               "only reallocated cores ever refill their I-cache.\n"
               "Out-of-order deliveries: %llu (%.4f%%)\n",
-              report.extra.at("core_transfers"),
-              report.extra.at("core_requests"),
-              report.extra.at("core_requests_denied"),
               static_cast<unsigned long long>(report.cold_cache_events),
               report.cold_cache_ratio() * 100.0,
               static_cast<unsigned long long>(report.out_of_order),

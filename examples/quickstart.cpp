@@ -4,12 +4,14 @@
 //   trace -> traffic model -> scenario -> scheduler -> report
 //
 // Build & run:  ./build/examples/quickstart [--json=PATH]
-//               [--timeseries=PATH] [--trace-out=PATH]
+//               [--timeseries=PATH] [--trace-out=PATH] [--scheduler=SPEC]
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
+#include <vector>
 
-#include "core/laps.h"
 #include "exp/harness.h"
+#include "exp/scheduler_registry.h"
 #include "sim/runner.h"
 #include "trace/synthetic.h"
 #include "util/flags.h"
@@ -42,13 +44,19 @@ int run(laps::Flags& flags) {
 
   // 3. The scheduler under test: LAPS with the paper's defaults (16-entry
   //    AFC, 512-entry annex, 32-descriptor queues, CRC16 flow hashing).
-  LapsConfig laps_config;
-  laps_config.num_services = 1;
-  LapsScheduler scheduler(laps_config);
+  //    --scheduler=SPEC swaps in any registry scheduler, e.g.
+  //    --scheduler=hash-migrate or --scheduler=laps:afc=64,power=1.
+  const std::vector<SchedulerSpec> specs =
+      schedulers_or(harness, {make_scheduler_spec("laps:services=1")});
+  if (specs.size() != 1) {
+    throw std::invalid_argument(
+        "quickstart runs one scheduler; pass a single --scheduler spec");
+  }
+  auto scheduler = specs.front().make();
 
   // 4. Run and report. run_observed = run_scenario plus any observability
   //    probes requested on the command line (--timeseries, --trace-out).
-  const SimReport report = run_observed(config, scheduler, harness);
+  const SimReport report = run_observed(config, *scheduler, harness);
   std::cout << report.summary() << "\n\n";
 
   std::printf("Delivered %.1f%% of %llu packets at %.2f Mpps; "

@@ -4,17 +4,13 @@
 // five schedulers, run on --jobs threads with identical results.
 //
 // Usage: scheduler_comparison [--scenario=T5] [--seconds=0.1] [--seed=N]
-//                             [--jobs=N] [--json=PATH]
+//                             [--jobs=N] [--json=PATH] [--scheduler=LIST]
 #include <iostream>
 #include <memory>
 #include <vector>
 
-#include "baselines/afs.h"
-#include "baselines/fcfs.h"
-#include "baselines/oracle_topk.h"
-#include "baselines/static_hash.h"
-#include "core/laps.h"
 #include "exp/harness.h"
+#include "exp/scheduler_registry.h"
 #include "exp/trace_store.h"
 #include "sim/scenarios.h"
 #include "util/flags.h"
@@ -38,18 +34,16 @@ int run(laps::Flags& flags) {
   std::cout << "Scenario " << id << ": 4 services, " << options.num_cores
             << " cores, " << options.seconds << " s\n\n";
 
-  const std::vector<SchedulerSpec> schedulers = {
-      {"FCFS", [] { return std::make_unique<FcfsScheduler>(); }},
-      {"StaticHash", [] { return std::make_unique<StaticHashScheduler>(); }},
-      {"AFS", [] { return std::make_unique<AfsScheduler>(); }},
-      {"OracleTop16", [] { return std::make_unique<OracleTopKScheduler>(16); }},
-      {"LAPS",
-       []() -> std::unique_ptr<Scheduler> {
-         LapsConfig laps_config;
-         laps_config.num_services = kNumServices;
-         return std::make_unique<LapsScheduler>(laps_config);
-       }},
-  };
+  // Registry specs; --scheduler=LIST replaces the whole table. The default
+  // laps/oracle specs match the paper configuration (4 services, K = 16).
+  const std::vector<SchedulerSpec> schedulers =
+      schedulers_or(harness, {
+                                 make_scheduler_spec("fcfs"),
+                                 make_scheduler_spec("hash"),
+                                 make_scheduler_spec("afs"),
+                                 make_scheduler_spec("oracle"),
+                                 make_scheduler_spec("laps"),
+                             });
 
   ExperimentPlan plan(options.seed);
   plan.add_grid({id}, schedulers, {options.seed},

@@ -5,6 +5,7 @@
 
 #include "baselines/static_hash.h"
 #include "cache/afd.h"
+#include "core/aggressive_detector.h"
 #include "core/migration_table.h"
 
 namespace laps {
@@ -88,9 +89,15 @@ class CombinedAdaptiveScheduler final : public AdaptiveHashScheduler {
 
   std::map<std::string, double> extra_stats() const override;
 
+  /// Live AFC contents for accuracy probes (shared AggressiveDetector
+  /// mechanism; read-only, never perturbs the detector).
+  std::vector<std::uint64_t> aggressive_snapshot() const override {
+    return detector_.snapshot();
+  }
+
  private:
   CombinedOptions combined_;
-  Afd afd_;
+  AggressiveDetector detector_;
   MigrationTable pins_;
   std::uint64_t aggressive_migrations_ = 0;
 };

@@ -12,7 +12,9 @@ CoreId AfsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
     CoreId best = target;
     std::uint32_t best_load = view.load(target);
     for (std::size_t c = 0; c < num_cores_; ++c) {
-      if (down_[c] != 0) continue;  // never shift a bundle onto a dead core
+      if (live_.is_down(static_cast<CoreId>(c))) {
+        continue;  // never shift a bundle onto a dead core
+      }
       const std::uint32_t load = view.load(static_cast<CoreId>(c));
       if (load < best_load) {
         best_load = load;

@@ -11,7 +11,7 @@ CoreId FcfsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
   bool have = false;
   for (std::size_t i = 0; i < num_cores_; ++i) {
     const CoreId c = static_cast<CoreId>((rr_ + i) % num_cores_);
-    if (down_[c] != 0) continue;
+    if (live_.is_down(c)) continue;
     const std::uint32_t load = view.load(c);
     if (!have || load < best_load) {
       have = true;

@@ -1,7 +1,6 @@
 #pragma once
 
-#include <vector>
-
+#include "core/live_core_set.h"
 #include "sim/scheduler.h"
 
 namespace laps {
@@ -18,7 +17,7 @@ class FcfsScheduler final : public Scheduler {
   void attach(std::size_t num_cores) override {
     num_cores_ = num_cores;
     rr_ = 0;
-    down_.assign(num_cores, 0);
+    live_.reset(num_cores);
   }
 
   CoreId schedule(const SimPacket& pkt, const NpuView& view) override;
@@ -28,16 +27,16 @@ class FcfsScheduler final : public Scheduler {
   /// Degradation: failed cores drop out of the least-loaded scan until
   /// recovery.
   void notify_core_down(CoreId core, const NpuView&) override {
-    if (core < down_.size()) down_[core] = 1;
+    live_.mark_down(core);
   }
   void notify_core_up(CoreId core, const NpuView&) override {
-    if (core < down_.size()) down_[core] = 0;
+    live_.mark_up(core);
   }
 
  private:
   std::size_t num_cores_ = 0;
   std::size_t rr_ = 0;  // tie-break rotation so ties spread evenly
-  std::vector<std::uint8_t> down_;
+  LiveCoreSet live_;
 };
 
 }  // namespace laps

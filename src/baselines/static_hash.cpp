@@ -9,16 +9,12 @@ void StaticHashScheduler::attach(std::size_t num_cores) {
   std::size_t buckets = num_buckets_;
   if (buckets == 0) buckets = std::bit_ceil(num_cores * 16);
   table_.resize(buckets);
-  down_.assign(num_cores, 0);
+  live_.reset(num_cores);
   rebuild();
 }
 
 void StaticHashScheduler::rebuild() {
-  std::vector<CoreId> live;
-  live.reserve(num_cores_);
-  for (std::size_t c = 0; c < num_cores_; ++c) {
-    if (down_[c] == 0) live.push_back(static_cast<CoreId>(c));
-  }
+  const std::vector<CoreId> live = live_.live_cores();
   if (live.empty()) return;
   for (std::size_t b = 0; b < table_.size(); ++b) {
     // live[b % live.size()] == b % num_cores when nothing is down, so the

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/live_core_set.h"
 #include "sim/scheduler.h"
 
 namespace laps {
@@ -31,16 +32,10 @@ class StaticHashScheduler : public Scheduler {
   /// rehash — Dittmann's scheme has no incremental structure to do better,
   /// which is exactly the contrast with LAPS's drain/remap).
   void notify_core_down(CoreId core, const NpuView&) override {
-    if (core < down_.size() && down_[core] == 0) {
-      down_[core] = 1;
-      rebuild();
-    }
+    if (live_.mark_down(core)) rebuild();
   }
   void notify_core_up(CoreId core, const NpuView&) override {
-    if (core < down_.size() && down_[core] != 0) {
-      down_[core] = 0;
-      rebuild();
-    }
+    if (live_.mark_up(core)) rebuild();
   }
 
  protected:
@@ -52,12 +47,14 @@ class StaticHashScheduler : public Scheduler {
   /// Fills the table round-robin over the live cores; with nothing down
   /// this is exactly the attach()-time `b % num_cores` mapping. With every
   /// core down the table is left as-is (drops are accounted upstream).
-  void rebuild();
+  /// Virtual so derived policies can shrink the rehash domain further
+  /// (AfsPowerScheduler excludes parked cores).
+  virtual void rebuild();
 
   std::size_t num_buckets_;
   std::vector<CoreId> table_;  // bucket -> core
   std::size_t num_cores_ = 0;
-  std::vector<std::uint8_t> down_;
+  LiveCoreSet live_;
 };
 
 }  // namespace laps

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/afd.h"
+
+namespace laps {
+
+/// Aggressive-flow detection mechanism: a thin policy-facing wrapper over
+/// the two-level AFD (AFC + annex, paper Sec. III-F) that standardizes the
+/// three things every migrating scheduler does with it — feed packets,
+/// query the aggressiveness predicate, and expose a read-only AFC snapshot
+/// for accuracy probes.
+///
+/// The wrapper also owns the promotion-detection idiom: promotions are only
+/// observable as a stats delta, and comparing deltas on every packet is
+/// wasted work when nobody listens, so observe() runs the comparison only
+/// when the caller asks for it (i.e. an event sink is installed).
+class AggressiveDetector {
+ public:
+  explicit AggressiveDetector(const AfdConfig& config) : afd_(config) {}
+
+  /// Feeds one packet. When `detect_promotion`, returns whether this access
+  /// promoted the flow into the AFC; otherwise always false (and skips the
+  /// stats comparison).
+  bool observe(std::uint64_t flow_key, bool detect_promotion = false) {
+    if (!detect_promotion) {
+      afd_.access(flow_key);
+      return false;
+    }
+    const std::uint64_t before = afd_.stats().promotions;
+    afd_.access(flow_key);
+    return afd_.stats().promotions != before;
+  }
+
+  /// The aggressiveness predicate (AFC membership). Read-only.
+  bool is_aggressive(std::uint64_t flow_key) const {
+    return afd_.is_aggressive(flow_key);
+  }
+
+  /// Listing 1 line 8: drop a just-migrated flow from the AFC.
+  void invalidate(std::uint64_t flow_key) { afd_.invalidate(flow_key); }
+
+  /// Live AFC contents, most-frequent first — the Scheduler::
+  /// aggressive_snapshot() payload. Afd::aggressive_flows() is a read-only
+  /// hardware-style lookup, so sampling never perturbs the detector.
+  std::vector<std::uint64_t> snapshot() const {
+    return afd_.aggressive_flows();
+  }
+
+  const AfdStats& stats() const { return afd_.stats(); }
+  const Afd& afd() const { return afd_; }
+
+  /// Clears both caches and statistics (per-run reset for policies that
+  /// hold the detector by value across attach() calls).
+  void reset() { afd_.reset(); }
+
+ private:
+  Afd afd_;
+};
+
+}  // namespace laps

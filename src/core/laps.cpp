@@ -4,7 +4,8 @@
 
 namespace laps {
 
-LapsScheduler::LapsScheduler(LapsConfig config) : config_(config) {
+LapsScheduler::LapsScheduler(LapsConfig config)
+    : config_(config), power_(config.power()) {
   if (config_.num_services == 0) {
     throw std::invalid_argument("LapsScheduler: num_services == 0");
   }
@@ -13,9 +14,8 @@ LapsScheduler::LapsScheduler(LapsConfig config) : config_(config) {
 void LapsScheduler::attach(std::size_t num_cores) {
   allocator_ = std::make_unique<CoreAllocator>(
       num_cores, config_.num_services, config_.min_cores_per_service);
-  afd_ = std::make_unique<Afd>(config_.afd);
-  map_tables_.clear();
-  migration_tables_.clear();
+  detector_ = std::make_unique<AggressiveDetector>(config_.afd);
+  pinners_.clear();
   for (std::size_t s = 0; s < config_.num_services; ++s) {
     // Round-robin the service's cores over entries_per_core virtual
     // buckets each, so per-core load skew from linear hashing's split
@@ -26,133 +26,39 @@ void LapsScheduler::attach(std::size_t num_cores) {
     for (std::size_t rep = 0; rep < config_.entries_per_core; ++rep) {
       for (CoreId core : owned) buckets.push_back(core);
     }
-    map_tables_.emplace_back(std::move(buckets));
-    migration_tables_.emplace_back(config_.migration_table_capacity);
+    pinners_.emplace_back(std::move(buckets), config_.migration_table_capacity);
   }
   aggressive_migrations_ = 0;
   core_requests_ = 0;
   core_requests_denied_ = 0;
-  stale_pins_dropped_ = 0;
-  down_.assign(num_cores, 0);
+  live_.reset(num_cores);
   cores_down_events_ = 0;
   cores_up_events_ = 0;
   fault_unreplaced_buckets_ = 0;
 
-  parked_.assign(num_cores, false);
-  surplus_since_.assign(num_cores, -1);
-  parked_since_.assign(num_cores, 0);
-  no_park_until_.assign(num_cores, 0);
-  window_packets_.assign(config_.num_services, 0);
-  window_core_max_.assign(num_cores, 0);
-  no_consolidate_until_.assign(config_.num_services, 0);
-  wake_strikes_.assign(config_.num_services, 0);
-  slack_streak_.assign(config_.num_services, 0);
-  parked_total_ns_ = 0;
+  power_.attach(num_cores, config_.num_services);
   last_now_ = 0;
-  sleep_events_ = 0;
-  wake_events_ = 0;
 }
 
 void LapsScheduler::add_core_buckets(std::size_t service, CoreId core) {
-  for (std::size_t rep = 0; rep < config_.entries_per_core; ++rep) {
-    map_tables_[service].add_core(core);
-  }
+  pinners_[service].add_core(core, config_.entries_per_core);
 }
 
 bool LapsScheduler::wake_core(CoreId core, TimeNs now) {
-  if (!parked_[core]) return false;
-  parked_[core] = false;
-  parked_total_ns_ += now - parked_since_[core];
-  // Post-wake hysteresis: a core that was just needed is likely to be
-  // needed again; without this, moderate load makes cores thrash through
-  // hundreds of sleep/wake cycles (each one churns the map table).
-  no_park_until_[core] = now + 10 * config_.sleep_after;
-  ++wake_events_;
+  if (!power_.wake(core, now)) return false;
   emit(SchedEvent::Kind::kWake, static_cast<std::int32_t>(core),
        static_cast<std::int32_t>(allocator_->owner(core)));
   return true;
-}
-
-void LapsScheduler::update_parking(TimeNs now) {
-  if (!config_.power_gating) return;
-  for (CoreId c = 0; c < static_cast<CoreId>(parked_.size()); ++c) {
-    if (parked_[c] || down_[c] != 0 || surplus_since_[c] < 0) continue;
-    if (now - surplus_since_[c] < config_.sleep_after) continue;
-    if (now < no_park_until_[c]) continue;
-    const std::size_t owner = allocator_->owner(c);
-    // The owner must keep at least min_cores powered, live cores.
-    std::size_t unparked = 0;
-    for (CoreId other : allocator_->cores_of(owner)) {
-      unparked += !parked_[other] && down_[other] == 0;
-    }
-    if (unparked <= config_.min_cores_per_service) continue;
-    park_core(owner, c, now);
-  }
 }
 
 void LapsScheduler::park_core(std::size_t service, CoreId core, TimeNs now) {
   // Park: the core leaves the routing tables but stays owned, so waking
   // it later needs no context switch (its I-cache still holds the
   // owner's program).
-  while (map_tables_[service].contains(core)) {
-    if (!map_tables_[service].remove_core(core)) break;
-  }
-  migration_tables_[service].remove_core_entries(core);
-  parked_[core] = true;
-  parked_since_[core] = now;
-  ++sleep_events_;
+  pinners_[service].scrub_core(core);
+  power_.park(core, now);
   emit(SchedEvent::Kind::kPark, static_cast<std::int32_t>(core),
        static_cast<std::int32_t>(service));
-}
-
-void LapsScheduler::update_consolidation(std::size_t service, CoreId target,
-                                         const NpuView& view) {
-  // Record this dispatch in the target core's window maximum. The target
-  // is always owned by `service`, so per-core maxima partition cleanly.
-  const std::uint32_t depth = view.cores()[target].queue_len;
-  if (depth > window_core_max_[target]) window_core_max_[target] = depth;
-  if (++window_packets_[service] < config_.consolidate_window) {
-    return;
-  }
-  window_packets_[service] = 0;
-
-  // Window end: park the coldest core — the one whose own queue never
-  // reached the watermark all window (cores that received nothing have a
-  // window max of 0 and are the first to fold).
-  const TimeNs now = view.now();
-  std::size_t unparked = 0;
-  CoreId victim = 0;
-  bool have = false;
-  std::uint32_t victim_max = 0;
-  for (CoreId core : allocator_->cores_of(service)) {
-    if (parked_[core] || down_[core] != 0) {
-      window_core_max_[core] = 0;
-      continue;
-    }
-    ++unparked;
-    const std::uint32_t core_max = window_core_max_[core];
-    window_core_max_[core] = 0;
-    if (now < no_park_until_[core]) continue;
-    if (!have || core_max < victim_max) {
-      have = true;
-      victim_max = core_max;
-      victim = core;
-    }
-  }
-  // Require the slack to persist for two consecutive windows before
-  // parking: one quiet window at moderate load is common, and a premature
-  // park costs a wake plus map-table churn.
-  if (have && victim_max < config_.consolidate_watermark) {
-    ++slack_streak_[service];
-  } else {
-    slack_streak_[service] = 0;
-  }
-  if (slack_streak_[service] >= 2 &&
-      unparked > config_.min_cores_per_service &&
-      now >= no_consolidate_until_[service]) {
-    park_core(service, victim, now);
-    slack_streak_[service] = 0;
-  }
 }
 
 void LapsScheduler::update_surplus_marks(const NpuView& view) {
@@ -162,9 +68,7 @@ void LapsScheduler::update_surplus_marks(const NpuView& view) {
     const CoreView& v = cores[c];
     if (v.idle_since >= 0 && now - v.idle_since >= config_.idle_th) {
       allocator_->mark_surplus(c, v.idle_since + config_.idle_th);
-      if (surplus_since_[c] < 0) {
-        surplus_since_[c] = v.idle_since + config_.idle_th;
-      }
+      power_.note_surplus(c, v.idle_since + config_.idle_th);
     }
   }
 }
@@ -179,7 +83,7 @@ CoreId LapsScheduler::least_loaded_of(std::size_t service,
   bool have = false;
   std::uint32_t best_load = 0;
   for (CoreId core : owned) {
-    if (parked_[core] || down_[core] != 0) continue;
+    if (power_.parked(core) || live_.is_down(core)) continue;
     const std::uint32_t load = view.load(core);
     if (!have || load < best_load) {
       have = true;
@@ -194,11 +98,11 @@ bool LapsScheduler::acquire_core(std::size_t service, bool emergency) {
   // Power gating: reclaim the service's own parked cores first — the
   // paper's Sec. III-D "unmarked and removed from the list of surplus
   // cores without incurring the overhead of context switch".
-  if (config_.power_gating) {
+  if (power_.enabled()) {
     for (CoreId core : allocator_->cores_of(service)) {
-      if (!parked_[core] || down_[core] != 0) continue;
+      if (!power_.parked(core) || live_.is_down(core)) continue;
       wake_core(core, last_now_);
-      surplus_since_[core] = -1;
+      power_.clear_surplus(core);
       allocator_->unmark_surplus(core);
       add_core_buckets(service, core);
       emit(SchedEvent::Kind::kCoreGrant, static_cast<std::int32_t>(core),
@@ -214,17 +118,14 @@ bool LapsScheduler::acquire_core(std::size_t service, bool emergency) {
   if (!granted) return false;
   const CoreId core = *granted;
   wake_core(core, last_now_);
-  surplus_since_[core] = -1;
+  power_.clear_surplus(core);
   // Scrub the donor's routing state: its buckets leave the list one by one
   // (each removal shifts later buckets, but the donor is lightly loaded —
   // Sec. III-D accepts this) and any migration pins to the departed core
   // are dropped.
   for (std::size_t s = 0; s < config_.num_services; ++s) {
     if (s == service) continue;
-    while (map_tables_[s].contains(core)) {
-      if (!map_tables_[s].remove_core(core)) break;
-    }
-    migration_tables_[s].remove_core_entries(core);
+    pinners_[s].scrub_core(core);
   }
   add_core_buckets(service, core);
   emit(SchedEvent::Kind::kCoreGrant, static_cast<std::int32_t>(core),
@@ -241,31 +142,25 @@ bool LapsScheduler::request_core(std::size_t service) {
 }
 
 void LapsScheduler::notify_core_down(CoreId core, const NpuView& view) {
-  if (allocator_ == nullptr || core >= down_.size() || down_[core] != 0) {
+  if (allocator_ == nullptr || core >= live_.size() || live_.is_down(core)) {
     return;
   }
-  down_[core] = 1;
+  live_.mark_down(core);
   ++cores_down_events_;
   last_now_ = view.now();
-  if (config_.power_gating && parked_[core]) {
-    // Close the sleep span without wake semantics — the core did not wake,
-    // it died.
-    parked_[core] = false;
-    parked_total_ns_ += last_now_ - parked_since_[core];
-  }
-  surplus_since_[core] = -1;
+  power_.on_core_down(core, last_now_);
   allocator_->set_offline(core);
 
   const std::size_t service = allocator_->owner(core);
   // Pins to the dead core are dead routes; drop them (their flows fall
   // back to the hash path, re-migrating later if still aggressive).
-  migration_tables_[service].remove_core_entries(core);
+  pinners_[service].drop_core_pins(core);
   // Drain the dead core's buckets. remove_core refuses the service's last
   // bucket, at which point a replacement must arrive *before* the drain
   // can finish — acquire one (own parked core, surplus donor, or the
   // emergency grant_any). If even that fails the dead bucket stays and the
   // engine's dead-route drop accounts the loss.
-  MapTable& table = map_tables_[service];
+  MapTable& table = pinners_[service].map_table();
   while (table.contains(core)) {
     if (table.remove_core(core)) continue;
     if (acquire_core(service, /*emergency=*/true)) continue;
@@ -277,14 +172,14 @@ void LapsScheduler::notify_core_down(CoreId core, const NpuView& view) {
 }
 
 void LapsScheduler::notify_core_up(CoreId core, const NpuView& view) {
-  if (allocator_ == nullptr || core >= down_.size() || down_[core] == 0) {
+  if (allocator_ == nullptr || core >= live_.size() || !live_.is_down(core)) {
     return;
   }
-  down_[core] = 0;
+  live_.mark_up(core);
   ++cores_up_events_;
   last_now_ = view.now();
   allocator_->set_online(core);
-  surplus_since_[core] = -1;
+  power_.clear_surplus(core);
   // Rejoin the owner's map table; incremental hashing moves only the
   // recovered buckets' flows, so reintegration is gradual, not a reshuffle.
   add_core_buckets(allocator_->owner(core), core);
@@ -295,74 +190,66 @@ CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
   const std::uint64_t key = pkt.flow_key();
 
   // The AFD observes every packet in the background (Sec. III-G: not on the
-  // critical path; sampling is handled inside per Fig. 8c). Promotions are
-  // only detectable as a stats delta, so the (cheap) comparison runs only
-  // while a sink is listening.
-  if (sink_ != nullptr) {
-    const std::uint64_t promotions_before = afd_->stats().promotions;
-    afd_->access(key);
-    if (afd_->stats().promotions != promotions_before) {
-      emit(SchedEvent::Kind::kAfdPromotion, -1,
-           static_cast<std::int32_t>(service), key);
-    }
-  } else {
-    afd_->access(key);
+  // critical path; sampling is handled inside per Fig. 8c). Promotion
+  // detection costs a stats comparison, so it runs only while a sink is
+  // listening.
+  if (detector_->observe(key, /*detect_promotion=*/sink_ != nullptr)) {
+    emit(SchedEvent::Kind::kAfdPromotion, -1,
+         static_cast<std::int32_t>(service), key);
   }
   last_now_ = view.now();
   update_surplus_marks(view);
-  update_parking(last_now_);
+  power_.update_parking(last_now_, *this);
 
+  FlowPinner& pinner = pinners_[service];
   // Step 1: migration-table override. A pin whose core left the service is
   // stale (can happen if remove_core_entries raced a reallocation) — drop
   // it and fall through to the hash path.
   CoreId target = 0;
   bool pinned = false;
-  if (const auto pin = migration_tables_[service].lookup(key)) {
-    if (allocator_->owner(*pin) == service && down_[*pin] == 0) {
+  if (const auto pin = pinner.pinned(key)) {
+    if (allocator_->owner(*pin) == service && !live_.is_down(*pin)) {
       target = *pin;
       pinned = true;
     } else {
-      migration_tables_[service].erase(key);
-      ++stale_pins_dropped_;
+      pinner.drop_stale(key);
     }
   }
   // Step 2: the service's map table via incremental hashing.
   if (!pinned) {
-    target = map_tables_[service].core_for(pkt.tuple.crc16());
+    target = pinner.hash_core(pkt.tuple.crc16());
   }
 
   // Power gating: wake a parked core before queues overflow (wake-ahead),
   // and consolidate onto fewer cores when a whole window shows slack.
-  if (config_.power_gating) {
-    update_consolidation(service, target, view);
+  if (power_.enabled()) {
+    power_.update_consolidation(service, target, view, *this);
     const std::uint32_t watermark = config_.wake_watermark
                                         ? config_.wake_watermark
                                         : config_.high_thresh / 2;
     if (view.cores()[target].queue_len >= watermark) {
       for (CoreId core : allocator_->cores_of(service)) {
-        if (!parked_[core]) continue;
+        if (!power_.parked(core)) continue;
         wake_core(core, last_now_);
-        surplus_since_[core] = -1;
+        power_.clear_surplus(core);
         allocator_->unmark_surplus(core);
         add_core_buckets(service, core);
         // Exponential backoff: every wake doubles the consolidation pause
         // (capped), so a load level that keeps defeating parking converges
         // to a stable, unparked configuration instead of cycling map-table
         // churn forever.
-        const std::uint32_t strikes = std::min(wake_strikes_[service]++, 6u);
-        no_consolidate_until_[service] =
-            last_now_ + (config_.consolidate_backoff << strikes);
+        power_.note_wake_backoff(service, last_now_);
         if (!pinned) {
-          target = map_tables_[service].core_for(pkt.tuple.crc16());
+          target = pinner.hash_core(pkt.tuple.crc16());
         }
         break;
       }
     }
     // Consolidation may have just parked this packet's target (its buckets
     // are gone, but the lookup above preceded the park): re-route.
-    if (parked_[target]) {
+    if (power_.parked(target)) {
       target = pinned ? least_loaded_of(service, view)
-                      : map_tables_[service].core_for(pkt.tuple.crc16());
+                      : pinner.hash_core(pkt.tuple.crc16());
     }
   }
 
@@ -370,9 +257,9 @@ CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
   if (view.cores()[target].queue_len >= config_.high_thresh) {
     const CoreId minq = least_loaded_of(service, view);
     if (view.cores()[minq].queue_len < config_.high_thresh) {
-      if (!pinned && afd_->is_aggressive(key)) {
-        migration_tables_[service].add(key, minq);
-        afd_->invalidate(key);
+      if (!pinned && detector_->is_aggressive(key)) {
+        pinner.pin(key, minq);
+        detector_->invalidate(key);
         ++aggressive_migrations_;
         emit(SchedEvent::Kind::kAggressiveMigration,
              static_cast<std::int32_t>(minq),
@@ -385,7 +272,7 @@ CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
       // can land on the (idle) newcomer.
       if (request_core(service)) {
         if (!pinned) {
-          target = map_tables_[service].core_for(pkt.tuple.crc16());
+          target = pinner.hash_core(pkt.tuple.crc16());
         }
       }
     }
@@ -394,38 +281,34 @@ CoreId LapsScheduler::schedule(const SimPacket& pkt, const NpuView& view) {
   // Defense in depth: the drain/remap protocol keeps dead cores out of
   // every table, so this reroute should never fire — but a dead target
   // would be a guaranteed drop, and least_loaded_of skips down cores.
-  if (down_[target] != 0) target = least_loaded_of(service, view);
+  if (live_.is_down(target)) target = least_loaded_of(service, view);
 
   // The dispatch touches the core, so it is no longer reclaimable surplus.
   allocator_->unmark_surplus(target);
-  surplus_since_[target] = -1;
+  power_.clear_surplus(target);
   return target;
 }
 
 std::vector<std::uint64_t> LapsScheduler::aggressive_snapshot() const {
-  return afd_->aggressive_flows();
+  return detector_->snapshot();
 }
 
 std::map<std::string, double> LapsScheduler::extra_stats() const {
-  const AfdStats& afd_stats = afd_->stats();
-  TimeNs parked = parked_total_ns_;
-  for (CoreId c = 0; c < static_cast<CoreId>(parked_.size()); ++c) {
-    if (parked_[c]) parked += last_now_ - parked_since_[c];
+  const AfdStats& afd_stats = detector_->stats();
+  std::uint64_t stale = 0;
+  for (const FlowPinner& pinner : pinners_) {
+    stale += pinner.stale_pins_dropped();
   }
   std::map<std::string, double> stats = {
       {"aggressive_migrations", static_cast<double>(aggressive_migrations_)},
       {"core_requests", static_cast<double>(core_requests_)},
       {"core_requests_denied", static_cast<double>(core_requests_denied_)},
       {"core_transfers", static_cast<double>(allocator_->transfers())},
-      {"stale_pins_dropped", static_cast<double>(stale_pins_dropped_)},
+      {"stale_pins_dropped", static_cast<double>(stale)},
       {"afd_promotions", static_cast<double>(afd_stats.promotions)},
       {"afd_afc_hits", static_cast<double>(afd_stats.afc_hits)},
   };
-  if (config_.power_gating) {
-    stats["parked_core_us"] = to_us(parked);
-    stats["sleep_events"] = static_cast<double>(sleep_events_);
-    stats["wake_events"] = static_cast<double>(wake_events_);
-  }
+  power_.append_stats(stats, last_now_);
   // Added only when a fault actually hit, so fault-free runs keep their
   // byte-identical artifacts (golden determinism suite).
   if (cores_down_events_ + cores_up_events_ > 0) {

@@ -4,9 +4,11 @@
 #include <vector>
 
 #include "cache/afd.h"
+#include "core/aggressive_detector.h"
 #include "core/core_allocator.h"
-#include "core/map_table.h"
-#include "core/migration_table.h"
+#include "core/flow_pinner.h"
+#include "core/live_core_set.h"
+#include "core/power_manager.h"
 #include "sim/scheduler.h"
 
 namespace laps {
@@ -83,6 +85,18 @@ struct LapsConfig {
     cfg.require_beat_afc_min = true;
     return cfg;
   }
+
+  /// The power-gating slice of this config, for the PowerManager mechanism.
+  PowerConfig power() const {
+    PowerConfig cfg;
+    cfg.enabled = power_gating;
+    cfg.sleep_after = sleep_after;
+    cfg.consolidate_window = consolidate_window;
+    cfg.consolidate_watermark = consolidate_watermark;
+    cfg.consolidate_backoff = consolidate_backoff;
+    cfg.min_unparked = min_cores_per_service;
+    return cfg;
+  }
 };
 
 /// LAPS — the paper's Locality-Aware Packet Scheduler (Sec. III, Fig. 3).
@@ -100,7 +114,14 @@ struct LapsConfig {
 /// Because each service owns its cores exclusively, a core's small I-cache
 /// only ever holds one program (until a reallocation), which is where the
 /// Fig. 7b cold-cache advantage comes from.
-class LapsScheduler final : public Scheduler {
+///
+/// Since the policy/mechanism split, this class is a *policy*: the ordering
+/// decisions above, composed from reusable mechanisms — a CoreAllocator
+/// (surplus protocol), an AggressiveDetector (AFD), one FlowPinner per
+/// service (map + migration tables), a PowerManager (park/wake timing), and
+/// a LiveCoreSet (fault liveness). The per-packet order of operations is
+/// bit-identical to the pre-split monolith (tests/scheduler_equiv_test).
+class LapsScheduler final : public Scheduler, private PowerHost {
  public:
   explicit LapsScheduler(LapsConfig config = {});
 
@@ -119,9 +140,8 @@ class LapsScheduler final : public Scheduler {
 
   /// Live AFC contents, most-frequent first — the Fig. 8 methodology run
   /// *inside* a simulation: accuracy probes score this snapshot against
-  /// exact per-flow counts at every epoch. Afd::aggressive_flows() is a
-  /// read-only hardware-style lookup, so sampling never perturbs the
-  /// detector.
+  /// exact per-flow counts at every epoch. The detector's snapshot is a
+  /// read-only hardware-style lookup, so sampling never perturbs it.
   std::vector<std::uint64_t> aggressive_snapshot() const override;
 
   /// Graceful degradation on core failure (drain/remap protocol, see
@@ -140,18 +160,30 @@ class LapsScheduler final : public Scheduler {
   // Introspection for tests.
   const CoreAllocator& allocator() const { return *allocator_; }
   const MapTable& map_table(std::size_t service) const {
-    return map_tables_.at(service);
+    return pinners_.at(service).map_table();
   }
   const MigrationTable& migration_table(std::size_t service) const {
-    return migration_tables_.at(service);
+    return pinners_.at(service).migration_table();
   }
-  const Afd& afd() const { return *afd_; }
+  const Afd& afd() const { return detector_->afd(); }
   const LapsConfig& config() const { return config_; }
 
  private:
   std::size_t service_index(ServicePath path) const {
     return static_cast<std::size_t>(path) % config_.num_services;
   }
+
+  // PowerHost — the mechanism's view of this policy.
+  std::size_t owner_of(CoreId core) const override {
+    return allocator_->owner(core);
+  }
+  const std::vector<CoreId>& cores_of(std::size_t service) const override {
+    return allocator_->cores_of(service);
+  }
+  bool core_down(CoreId core) const override { return live_.is_down(core); }
+  /// Parks `core` of `service` (removes its buckets and pins). The caller
+  /// guarantees eligibility.
+  void park_core(std::size_t service, CoreId core, TimeNs now) override;
 
   /// Lazily advances the surplus timers: marks every core that has been
   /// idle past idle_th (Sec. III-D). Called once per arrival; core counts
@@ -174,15 +206,6 @@ class LapsScheduler final : public Scheduler {
   /// on success; the caller reports denial.
   bool acquire_core(std::size_t service, bool emergency);
 
-  /// Parks eligible surplus cores (power gating); no-op when disabled.
-  void update_parking(TimeNs now);
-  /// Parks `core` of `service` (removes its buckets and pins). The caller
-  /// guarantees eligibility.
-  void park_core(std::size_t service, CoreId core, TimeNs now);
-  /// Window-based consolidation bookkeeping; called per dispatch with the
-  /// packet's target core.
-  void update_consolidation(std::size_t service, CoreId target,
-                            const NpuView& view);
   /// Wakes a parked core, accounting its sleep span. Returns true if the
   /// core was parked.
   bool wake_core(CoreId core, TimeNs now);
@@ -204,35 +227,16 @@ class LapsScheduler final : public Scheduler {
   LapsConfig config_;
   SchedEventSink* sink_ = nullptr;
   std::unique_ptr<CoreAllocator> allocator_;
-  std::unique_ptr<Afd> afd_;
-  std::vector<MapTable> map_tables_;
-  std::vector<MigrationTable> migration_tables_;
-
-  // Power gating state (empty when disabled).
-  std::vector<bool> parked_;
-  std::vector<TimeNs> surplus_since_;  // -1 = not marked by us
-  std::vector<TimeNs> parked_since_;
-  std::vector<TimeNs> no_park_until_;  // post-wake hysteresis deadline
-  // Per-service consolidation windows; per-core window-max queue depths
-  // (cores belong to exactly one service, so one global array suffices).
-  std::vector<std::uint64_t> window_packets_;
-  std::vector<std::uint32_t> window_core_max_;
-  std::vector<TimeNs> no_consolidate_until_;  // per service, set on wake
-  std::vector<std::uint32_t> wake_strikes_;   // per service, backoff doubling
-  std::vector<std::uint32_t> slack_streak_;   // consecutive slack windows
-  TimeNs parked_total_ns_ = 0;
+  std::unique_ptr<AggressiveDetector> detector_;
+  std::vector<FlowPinner> pinners_;  // one per service
+  PowerManager power_;
+  LiveCoreSet live_;
   TimeNs last_now_ = 0;
-  std::uint64_t sleep_events_ = 0;
-  std::uint64_t wake_events_ = 0;
-
-  // Fault state: cores currently failed (engine notify_core_down/up).
-  std::vector<std::uint8_t> down_;
 
   // Counters for extra_stats().
   std::uint64_t aggressive_migrations_ = 0;
   std::uint64_t core_requests_ = 0;
   std::uint64_t core_requests_denied_ = 0;
-  std::uint64_t stale_pins_dropped_ = 0;
   // Fault counters; the fault_* extra_stats keys appear only when a fault
   // was actually seen, so fault-free artifacts stay byte-identical.
   std::uint64_t cores_down_events_ = 0;

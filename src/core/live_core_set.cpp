@@ -1,0 +1,20 @@
+#include "core/live_core_set.h"
+
+namespace laps {
+
+std::size_t LiveCoreSet::live_count() const {
+  std::size_t live = 0;
+  for (std::uint8_t d : down_) live += d == 0;
+  return live;
+}
+
+std::vector<CoreId> LiveCoreSet::live_cores() const {
+  std::vector<CoreId> live;
+  live.reserve(down_.size());
+  for (std::size_t c = 0; c < down_.size(); ++c) {
+    if (down_[c] == 0) live.push_back(static_cast<CoreId>(c));
+  }
+  return live;
+}
+
+}  // namespace laps

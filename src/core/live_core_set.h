@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace laps {
+
+/// Core-liveness mechanism shared by every scheduler's fault handling
+/// (notify_core_down/up): a byte-per-core down map plus the derived live
+/// list used for rehashing.
+///
+/// Before the policy/mechanism split, StaticHash, AFS, FCFS, and LAPS each
+/// hand-rolled the same `std::vector<std::uint8_t> down_` with the same
+/// bounds checks; this class is that bitmap, extracted once. Reads are a
+/// single inline byte load, so schedulers that consult liveness per packet
+/// (FCFS's scan, AFS's shift loop) pay exactly what the hand-rolled vector
+/// cost.
+class LiveCoreSet {
+ public:
+  LiveCoreSet() = default;
+  explicit LiveCoreSet(std::size_t num_cores) { reset(num_cores); }
+
+  /// Sizes the set to `num_cores`, all live (every scheduler's attach()).
+  void reset(std::size_t num_cores) { down_.assign(num_cores, 0); }
+
+  /// Marks a core down. Returns true when this call changed its state
+  /// (in range and previously live) — the signal rehashing schedulers use
+  /// to rebuild exactly once per transition.
+  bool mark_down(CoreId core) {
+    if (core >= down_.size() || down_[core] != 0) return false;
+    down_[core] = 1;
+    return true;
+  }
+
+  /// Marks a core live again. Returns true when this call changed its
+  /// state (in range and previously down).
+  bool mark_up(CoreId core) {
+    if (core >= down_.size() || down_[core] == 0) return false;
+    down_[core] = 0;
+    return true;
+  }
+
+  /// True while `core` is failed. Out-of-range cores read as down: a core
+  /// id the scheduler was never attached with cannot be routed to.
+  bool is_down(CoreId core) const {
+    return core >= down_.size() || down_[core] != 0;
+  }
+
+  bool is_live(CoreId core) const { return !is_down(core); }
+
+  std::size_t size() const { return down_.size(); }
+
+  /// Number of live cores.
+  std::size_t live_count() const;
+
+  /// Live core ids in ascending order — the rehash domain. Empty when
+  /// every core is down (rehashing schedulers then keep their last table;
+  /// the engine accounts the drops).
+  std::vector<CoreId> live_cores() const;
+
+ private:
+  std::vector<std::uint8_t> down_;
+};
+
+}  // namespace laps

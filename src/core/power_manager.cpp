@@ -1,0 +1,138 @@
+#include "core/power_manager.h"
+
+#include <algorithm>
+
+namespace laps {
+
+void PowerManager::attach(std::size_t num_cores, std::size_t num_services) {
+  parked_.assign(num_cores, false);
+  surplus_since_.assign(num_cores, -1);
+  parked_since_.assign(num_cores, 0);
+  no_park_until_.assign(num_cores, 0);
+  window_packets_.assign(num_services, 0);
+  window_core_max_.assign(num_cores, 0);
+  no_consolidate_until_.assign(num_services, 0);
+  wake_strikes_.assign(num_services, 0);
+  slack_streak_.assign(num_services, 0);
+  parked_total_ns_ = 0;
+  sleep_events_ = 0;
+  wake_events_ = 0;
+}
+
+void PowerManager::park(CoreId core, TimeNs now) {
+  parked_[core] = true;
+  parked_since_[core] = now;
+  ++sleep_events_;
+}
+
+bool PowerManager::wake(CoreId core, TimeNs now) {
+  if (!parked_[core]) return false;
+  parked_[core] = false;
+  parked_total_ns_ += now - parked_since_[core];
+  // Post-wake hysteresis: a core that was just needed is likely to be
+  // needed again; without this, moderate load makes cores thrash through
+  // hundreds of sleep/wake cycles (each one churns the map table).
+  no_park_until_[core] = now + 10 * config_.sleep_after;
+  ++wake_events_;
+  return true;
+}
+
+void PowerManager::on_core_down(CoreId core, TimeNs now) {
+  if (config_.enabled && parked_[core]) {
+    // Close the sleep span without wake semantics — the core did not wake,
+    // it died.
+    parked_[core] = false;
+    parked_total_ns_ += now - parked_since_[core];
+  }
+  surplus_since_[core] = -1;
+}
+
+void PowerManager::update_parking(TimeNs now, PowerHost& host) {
+  if (!config_.enabled) return;
+  for (CoreId c = 0; c < static_cast<CoreId>(parked_.size()); ++c) {
+    if (parked_[c] || host.core_down(c) || surplus_since_[c] < 0) continue;
+    if (now - surplus_since_[c] < config_.sleep_after) continue;
+    if (now < no_park_until_[c]) continue;
+    const std::size_t owner = host.owner_of(c);
+    // The owner must keep at least min_unparked powered, live cores.
+    std::size_t unparked = 0;
+    for (CoreId other : host.cores_of(owner)) {
+      unparked += !parked_[other] && !host.core_down(other);
+    }
+    if (unparked <= config_.min_unparked) continue;
+    host.park_core(owner, c, now);
+  }
+}
+
+void PowerManager::update_consolidation(std::size_t service, CoreId target,
+                                        const NpuView& view, PowerHost& host) {
+  // Record this dispatch in the target core's window maximum. The target
+  // is always owned by `service`, so per-core maxima partition cleanly.
+  const std::uint32_t depth = view.cores()[target].queue_len;
+  if (depth > window_core_max_[target]) window_core_max_[target] = depth;
+  if (++window_packets_[service] < config_.consolidate_window) {
+    return;
+  }
+  window_packets_[service] = 0;
+
+  // Window end: park the coldest core — the one whose own queue never
+  // reached the watermark all window (cores that received nothing have a
+  // window max of 0 and are the first to fold).
+  const TimeNs now = view.now();
+  std::size_t unparked = 0;
+  CoreId victim = 0;
+  bool have = false;
+  std::uint32_t victim_max = 0;
+  for (CoreId core : host.cores_of(service)) {
+    if (parked_[core] || host.core_down(core)) {
+      window_core_max_[core] = 0;
+      continue;
+    }
+    ++unparked;
+    const std::uint32_t core_max = window_core_max_[core];
+    window_core_max_[core] = 0;
+    if (now < no_park_until_[core]) continue;
+    if (!have || core_max < victim_max) {
+      have = true;
+      victim_max = core_max;
+      victim = core;
+    }
+  }
+  // Require the slack to persist for two consecutive windows before
+  // parking: one quiet window at moderate load is common, and a premature
+  // park costs a wake plus map-table churn.
+  if (have && victim_max < config_.consolidate_watermark) {
+    ++slack_streak_[service];
+  } else {
+    slack_streak_[service] = 0;
+  }
+  if (slack_streak_[service] >= 2 && unparked > config_.min_unparked &&
+      now >= no_consolidate_until_[service]) {
+    host.park_core(service, victim, now);
+    slack_streak_[service] = 0;
+  }
+}
+
+void PowerManager::note_wake_backoff(std::size_t service, TimeNs now) {
+  const std::uint32_t strikes = std::min(wake_strikes_[service]++, 6u);
+  no_consolidate_until_[service] =
+      now + (config_.consolidate_backoff << strikes);
+}
+
+TimeNs PowerManager::parked_total(TimeNs now) const {
+  TimeNs parked = parked_total_ns_;
+  for (CoreId c = 0; c < static_cast<CoreId>(parked_.size()); ++c) {
+    if (parked_[c]) parked += now - parked_since_[c];
+  }
+  return parked;
+}
+
+void PowerManager::append_stats(std::map<std::string, double>& stats,
+                                TimeNs now) const {
+  if (!config_.enabled) return;
+  stats["parked_core_us"] = to_us(parked_total(now));
+  stats["sleep_events"] = static_cast<double>(sleep_events_);
+  stats["wake_events"] = static_cast<double>(wake_events_);
+}
+
+}  // namespace laps

@@ -7,6 +7,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "exp/scheduler_registry.h"
 #include "sim/afd_accuracy.h"
 #include "sim/fault.h"
 #include "sim/flight_recorder.h"
@@ -87,7 +88,18 @@ HarnessOptions parse_harness_flags(Flags& flags) {
   if (!queue_spec.empty()) {
     opts.event_queue = parse_event_queue_kind(queue_spec);
   }
+  opts.scheduler_list = flags.get_string("scheduler", "");
+  if (!opts.scheduler_list.empty()) {
+    // Parsed here so a typo fails before any grid starts running; the
+    // registry's errors name the offending token and list valid choices.
+    opts.schedulers = parse_scheduler_list(opts.scheduler_list);
+  }
   return opts;
+}
+
+std::vector<SchedulerSpec> schedulers_or(const HarnessOptions& opts,
+                                         std::vector<SchedulerSpec> defaults) {
+  return opts.schedulers.empty() ? std::move(defaults) : opts.schedulers;
 }
 
 namespace {

@@ -42,6 +42,12 @@ struct HarnessOptions {
   /// --event-queue=wheel|heap override; unset leaves each scenario's own
   /// ScenarioConfig::event_queue (the wheel default) untouched.
   std::optional<EventQueueKind> event_queue;
+  /// Raw --scheduler value (semicolon-separated registry specs), for
+  /// display; empty = flag not given.
+  std::string scheduler_list;
+  /// Parsed --scheduler specs. Empty = the binary's built-in scheduler
+  /// table; see schedulers_or().
+  std::vector<SchedulerSpec> schedulers;
 };
 
 /// Consumes the flags every experiment binary shares:
@@ -69,8 +75,20 @@ struct HarnessOptions {
 ///                             (stem P); requires --faults
 ///   --event-queue=K           completion-queue implementation: wheel
 ///                             (default) or heap (the differential oracle)
+///   --scheduler=LIST          semicolon-separated scheduler registry specs
+///                             (e.g. "fcfs;laps:afc=64,idle_th=5us,power=1")
+///                             replacing the binary's built-in table; an
+///                             unknown name or parameter fails fast listing
+///                             the valid ones (exp/scheduler_registry.h)
 /// Call before flags.finish().
 HarnessOptions parse_harness_flags(Flags& flags);
+
+/// The schedulers a grid should run: the --scheduler specs when given,
+/// otherwise the binary's built-in `defaults` table. Every bench/example
+/// main routes its scheduler table through this, which is what makes the
+/// registry the single entry point for scheduler selection.
+std::vector<SchedulerSpec> schedulers_or(const HarnessOptions& opts,
+                                         std::vector<SchedulerSpec> defaults);
 
 /// Runs one scenario through the SimEngine with whatever observability
 /// probes `opts` configures attached (none configured = plain

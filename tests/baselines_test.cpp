@@ -8,8 +8,10 @@
 
 #include "baselines/afs.h"
 #include "baselines/fcfs.h"
+#include "baselines/hybrids.h"
 #include "baselines/oracle_topk.h"
 #include "baselines/static_hash.h"
+#include "core/live_core_set.h"
 #include "util/rng.h"
 
 namespace laps {
@@ -252,6 +254,118 @@ TEST(OracleTopK, NoMigrationWhenAllOverloaded) {
   oracle.schedule(make_packet(1), view);
   EXPECT_EQ(oracle.extra_stats().at("oracle_migrations"), 0.0)
       << "no destination below high_thresh exists";
+}
+
+// ----------------------------------------------------------- LiveCoreSet ---
+
+TEST(LiveCoreSet, TransitionsSignalOnce) {
+  LiveCoreSet live;
+  live.reset(4);
+  EXPECT_EQ(live.live_count(), 4u);
+  EXPECT_TRUE(live.mark_down(2)) << "first down is a transition";
+  EXPECT_FALSE(live.mark_down(2)) << "repeat down is not";
+  EXPECT_TRUE(live.is_down(2));
+  EXPECT_EQ(live.live_count(), 3u);
+  EXPECT_TRUE(live.mark_up(2));
+  EXPECT_FALSE(live.mark_up(2));
+  EXPECT_EQ(live.live_count(), 4u);
+}
+
+TEST(LiveCoreSet, OutOfRangeReadsAsDownAndIsIgnored) {
+  LiveCoreSet live;
+  live.reset(2);
+  EXPECT_TRUE(live.is_down(2));
+  EXPECT_TRUE(live.is_down(999));
+  EXPECT_FALSE(live.mark_down(2));
+  EXPECT_FALSE(live.mark_up(2));
+  EXPECT_EQ(live.live_count(), 2u);
+}
+
+TEST(LiveCoreSet, LiveCoresAscendingAndEmptyWhenAllDown) {
+  LiveCoreSet live;
+  live.reset(5);
+  live.mark_down(1);
+  live.mark_down(3);
+  EXPECT_EQ(live.live_cores(), (std::vector<CoreId>{0, 2, 4}));
+  for (CoreId c = 0; c < 5; ++c) live.mark_down(c);
+  EXPECT_TRUE(live.live_cores().empty());
+  EXPECT_EQ(live.live_count(), 0u);
+}
+
+// ----------------------------------------- last live core goes down -------
+//
+// Regression for the LiveCoreSet dedupe: every baseline must survive the
+// moment its final live core fails (any answer is a drop — the engine
+// accounts it), keep returning in-range cores, and resume routing to the
+// first core that recovers.
+
+TEST(Fcfs, SurvivesLastLiveCoreDown) {
+  FcfsScheduler fcfs;
+  fcfs.attach(4);
+  FakeView view(4);
+  for (CoreId c = 0; c < 4; ++c) fcfs.notify_core_down(c, view);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_LT(fcfs.schedule(make_packet(i), view), 4u);
+  }
+  fcfs.notify_core_up(2, view);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(fcfs.schedule(make_packet(i), view), 2u);
+  }
+}
+
+TEST(StaticHash, SurvivesLastLiveCoreDown) {
+  StaticHashScheduler hash;
+  hash.attach(4);
+  FakeView view(4);
+  for (CoreId c = 0; c < 3; ++c) hash.notify_core_down(c, view);
+  EXPECT_EQ(hash.schedule(make_packet(1), view), 3u)
+      << "one live core left: everything hashes to it";
+  hash.notify_core_down(3, view);  // the last live core
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_LT(hash.schedule(make_packet(i), view), 4u);
+  }
+  // Repeated notification of an already-down core must not rebuild or
+  // corrupt the table.
+  hash.notify_core_down(3, view);
+  hash.notify_core_up(1, view);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(hash.schedule(make_packet(i), view), 1u);
+  }
+}
+
+TEST(Afs, SurvivesLastLiveCoreDown) {
+  AfsScheduler afs;
+  afs.attach(4);
+  FakeView view(4);
+  for (CoreId c = 0; c < 4; ++c) view.cores_[c].queue_len = 30;  // overload
+  for (CoreId c = 0; c < 4; ++c) afs.notify_core_down(c, view);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_LT(afs.schedule(make_packet(i), view), 4u)
+        << "overload scan must not shift a bundle onto a dead core";
+  }
+  afs.notify_core_up(0, view);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(afs.schedule(make_packet(i), view), 0u);
+  }
+}
+
+TEST(Hybrids, SurviveLastLiveCoreDown) {
+  HashMigrateScheduler hm;
+  AfsPowerScheduler ap;
+  for (Scheduler* s : {static_cast<Scheduler*>(&hm),
+                       static_cast<Scheduler*>(&ap)}) {
+    SCOPED_TRACE(s->name());
+    s->attach(4);
+    FakeView view(4);
+    for (CoreId c = 0; c < 4; ++c) s->notify_core_down(c, view);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_LT(s->schedule(make_packet(i), view), 4u);
+    }
+    s->notify_core_up(2, view);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(s->schedule(make_packet(i), view), 2u);
+    }
+  }
 }
 
 }  // namespace
