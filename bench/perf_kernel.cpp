@@ -27,6 +27,16 @@
 //                  hash, migration-table lookup) on the kernel's fast
 //                  path; gated at 2% by scripts/compare_bench.py so the
 //                  policy/mechanism split cannot tax the scheduler
+//   engine+telemetry  the SimEngine with a TelemetryProbe on 100 us
+//                  epochs — the price of --telemetry (cached-cell counter
+//                  bumps per packet plus gauge/snapshot work at epoch
+//                  boundaries); gated at <= 5% by scripts/compare_bench.py
+//
+// When the host allows perf_event_open, every kernel row additionally
+// carries hardware attribution from the best repetition: cycles and
+// cache/branch misses per packet plus IPC. Locked-down runners (most CI
+// containers) silently degrade: perf_counters_available=false and the
+// per-kernel columns are omitted.
 //
 
 // A deliberately trivial scheduler (gflow mod cores) keeps scheduling cost
@@ -60,6 +70,8 @@
 #include "sim/probes.h"
 #include "sim/report_json.h"
 #include "sim/runner.h"
+#include "telemetry/perf_counters.h"
+#include "telemetry/probe.h"
 #include "trace/synthetic.h"
 #include "util/json_writer.h"
 #include "util/tableio.h"
@@ -91,9 +103,15 @@ struct Measurement {
   std::string variant;
   std::uint64_t packets = 0;  ///< packets per replayed run
   double best_seconds = 0.0;  ///< fastest repetition
+  /// Hardware counters of the best repetition (available=false when the
+  /// host rejects perf_event_open; columns are then omitted).
+  telemetry::PerfCounterReading perf = {};
   double mpps() const {
     return best_seconds > 0 ? static_cast<double>(packets) / best_seconds / 1e6
                             : 0.0;
+  }
+  double per_packet(double v) const {
+    return packets > 0 ? v / static_cast<double>(packets) : 0.0;
   }
 };
 
@@ -131,22 +149,34 @@ int run(Flags& flags) {
   eng_cfg.num_cores = cores;  // event_queue defaults to the TimingWheel
   SimEngineConfig heap_cfg = eng_cfg;
   heap_cfg.event_queue = EventQueueKind::kHeap;
+  // The telemetry row needs epoch boundaries for its gauge/snapshot work —
+  // that cost is part of what --telemetry charges, so it belongs in the row.
+  SimEngineConfig telem_cfg = eng_cfg;
+  telem_cfg.epoch_ns = 100 * kMicrosecond;
 
   Measurement npu{"npu"}, engine{"engine"}, engine_heap{"engine+heap"},
       engine_report{"engine+report"}, engine_audit{"engine+audit"},
-      engine_flight{"engine+flight"}, engine_laps{"engine+laps"};
+      engine_flight{"engine+flight"}, engine_laps{"engine+laps"},
+      engine_telem{"engine+telemetry"};
   npu.packets = engine.packets = engine_heap.packets =
       engine_report.packets = engine_audit.packets = engine_flight.packets =
-          engine_laps.packets = replay.size();
+          engine_laps.packets = engine_telem.packets = replay.size();
   SimReport check_npu, check_engine;
+
+  // One scope for all kernels: counters reset at each start(), and the
+  // reading of the repetition that won best-of is what the artifact keeps.
+  telemetry::PerfCounterScope pmu;
+  telemetry::PerfCounterReading last_reading;
 
   const auto time_npu = [&]() {
     ModuloScheduler sched;
     replay.rewind();
     Npu kernel(npu_cfg, sched);
+    pmu.start();
     const auto t0 = std::chrono::steady_clock::now();
     SimReport rep = kernel.run(replay, "perf_kernel");
     const double s = seconds_since(t0);
+    last_reading = pmu.stop();
     check_npu = std::move(rep);
     return s;
   };
@@ -158,9 +188,12 @@ int run(Flags& flags) {
     ProbeSet probes;
     probes.add(probe);
     SimEngine kernel(cfg, sched, probes);
+    pmu.start();
     const auto t0 = std::chrono::steady_clock::now();
     kernel.run(replay, "perf_kernel");
-    return seconds_since(t0);
+    const double s = seconds_since(t0);
+    last_reading = pmu.stop();
+    return s;
   };
   const auto time_engine_probe = [&](SimProbe* probe) {
     return time_engine_cfg(eng_cfg, probe);
@@ -193,28 +226,47 @@ int run(Flags& flags) {
     Scheduler& sched = *sched_ptr;
     replay.rewind();
     SimEngine kernel(eng_cfg, sched);
+    pmu.start();
     const auto t0 = std::chrono::steady_clock::now();
     kernel.run(replay, "perf_kernel");
-    return seconds_since(t0);
+    const double s = seconds_since(t0);
+    last_reading = pmu.stop();
+    return s;
+  };
+  // A fresh probe per rep (registry construction and instrument
+  // registration stay outside the timed region); epochs come from
+  // telem_cfg, snapshots from the probe's default 100 us interval.
+  const auto time_telemetry = [&]() {
+    telemetry::TelemetryProbe probe;
+    return time_engine_cfg(telem_cfg, &probe);
   };
 
-  // One warm-up pass, then `reps` interleaved passes (noise hits all six
-  // kernels alike); best-of wins.
+  // One warm-up pass, then `reps` interleaved passes (noise hits all eight
+  // kernels alike); best-of wins. The telemetry row runs right after the
+  // report row, not after engine+laps: the laps pass is ~3.5x longer and
+  // leaves enough cache/allocator wake to inflate whichever row follows
+  // it by several points, and telemetry is the row with the tightest
+  // budget (5%) riding on that comparison.
   time_npu();
   time_engine();
   time_heap();
   time_report();
+  time_telemetry();
   time_audit();
   time_flight();
   time_laps();
-  const auto keep_best = [](Measurement& m, double s, int r) {
-    if (r == 0 || s < m.best_seconds) m.best_seconds = s;
+  const auto keep_best = [&last_reading](Measurement& m, double s, int r) {
+    if (r == 0 || s < m.best_seconds) {
+      m.best_seconds = s;
+      m.perf = last_reading;  // attribution follows the winning rep
+    }
   };
   for (int r = 0; r < reps; ++r) {
     keep_best(npu, time_npu(), r);
     keep_best(engine, time_engine(), r);
     keep_best(engine_heap, time_heap(), r);
     keep_best(engine_report, time_report(), r);
+    keep_best(engine_telem, time_telemetry(), r);
     keep_best(engine_audit, time_audit(), r);
     keep_best(engine_flight, time_flight(), r);
     keep_best(engine_laps, time_laps(), r);
@@ -236,18 +288,36 @@ int run(Flags& flags) {
   const double probe_overhead = overhead_vs_engine(engine_report);
   const double audit_overhead = overhead_vs_engine(engine_audit);
   const double flight_overhead = overhead_vs_engine(engine_flight);
+  const double telemetry_overhead = overhead_vs_engine(engine_telem);
+
+  const std::vector<const Measurement*> rows = {
+      &npu,          &engine,       &engine_heap, &engine_report,
+      &engine_audit, &engine_flight, &engine_laps, &engine_telem};
 
   std::printf("=== Kernel throughput: %llu replayed packets/run, %zu cores, "
               "best of %d ===\n\n",
               static_cast<unsigned long long>(npu.packets), cores, reps);
   Table out({"kernel", "wall ms", "Mpps", "vs npu"});
-  for (const Measurement* m : {&npu, &engine, &engine_heap, &engine_report,
-                               &engine_audit, &engine_flight, &engine_laps}) {
+  for (const Measurement* m : rows) {
     out.add_row({m->variant, Table::num(m->best_seconds * 1e3, 2),
                  Table::num(m->mpps(), 2),
                  Table::num(npu.best_seconds / m->best_seconds, 2) + "x"});
   }
   std::printf("%s\n", out.to_string().c_str());
+  if (pmu.available()) {
+    Table hw({"kernel", "cycles/pkt", "IPC", "cache-miss/pkt",
+              "branch-miss/pkt"});
+    for (const Measurement* m : rows) {
+      hw.add_row({m->variant, Table::num(m->per_packet(m->perf.cycles), 1),
+                  Table::num(m->perf.ipc(), 2),
+                  Table::num(m->per_packet(m->perf.cache_misses), 2),
+                  Table::num(m->per_packet(m->perf.branch_misses), 2)});
+    }
+    std::printf("%s\n", hw.to_string().c_str());
+  } else {
+    std::printf("(hardware counters unavailable: perf_event_open rejected "
+                "or not Linux)\n\n");
+  }
   std::printf("engine speedup over npu (null probes): %.2fx\n", speedup);
   std::printf("TimingWheel speedup over EventHeap (bare engine): %.2fx\n",
               wheel_speedup);
@@ -257,6 +327,8 @@ int run(Flags& flags) {
               audit_overhead * 100.0);
   std::printf("FlightRecorderProbe overhead over null probes: %.1f%%\n",
               flight_overhead * 100.0);
+  std::printf("TelemetryProbe overhead over null probes: %.1f%%\n",
+              telemetry_overhead * 100.0);
 
   if (!harness.json_path.empty()) {
     JsonWriter w;
@@ -265,15 +337,24 @@ int run(Flags& flags) {
     w.field("tool", "perf_kernel");
     w.field("packets_per_run", static_cast<std::int64_t>(npu.packets));
     w.field("reps", static_cast<std::int64_t>(reps));
+    w.field("perf_counters_available", pmu.available());
     w.key("kernels");
     w.begin_array();
-    for (const Measurement* m : {&npu, &engine, &engine_heap, &engine_report,
-                                 &engine_audit, &engine_flight,
-                                 &engine_laps}) {
+    for (const Measurement* m : rows) {
       w.begin_object();
       w.field("name", m->variant);
       w.field("best_seconds", m->best_seconds);
       w.field("mpps", m->mpps());
+      // Hardware attribution columns exist only when there is hardware
+      // truth behind them (see PerfCounterScope degradation contract).
+      if (m->perf.available) {
+        w.field("cycles_per_packet", m->per_packet(m->perf.cycles));
+        w.field("ipc", m->perf.ipc());
+        w.field("cache_misses_per_packet",
+                m->per_packet(m->perf.cache_misses));
+        w.field("branch_misses_per_packet",
+                m->per_packet(m->perf.branch_misses));
+      }
       w.end_object();
     }
     w.end_array();
@@ -282,6 +363,7 @@ int run(Flags& flags) {
     w.field("report_probe_overhead", probe_overhead);
     w.field("audit_probe_overhead", audit_overhead);
     w.field("flight_probe_overhead", flight_overhead);
+    w.field("telemetry_probe_overhead", telemetry_overhead);
     w.end_object();
     const std::string doc = w.str() + "\n";
     std::FILE* f = std::fopen(harness.json_path.c_str(), "wb");

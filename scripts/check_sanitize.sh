@@ -5,11 +5,19 @@
 #
 # Usage: scripts/check_sanitize.sh [ctest-args...]
 #        scripts/check_sanitize.sh --chaos [chaos_soak-args...]
+#        scripts/check_sanitize.sh --tsan [ctest-args...]
 #
 # --chaos builds and runs the chaos_soak fault-injection grid under the
 # sanitizers instead of ctest: every fault path (core flush, stall resume,
 # adversarial traffic merge, recovery) executes with memory/UB checking on.
 # Default grid is small enough for CI; pass chaos_soak flags to widen it.
+#
+# --tsan builds the ThreadSanitizer configuration (its own build-tsan tree;
+# TSan and ASan cannot share a process) and runs the concurrency-sensitive
+# subset: the telemetry registry (sharded writers + concurrent
+# snapshot_counters), the snapshot ring, the parallel runner, and the
+# duration parser that both flag paths share. Pass ctest args to widen or
+# narrow the selection.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +26,16 @@ if [[ "${1:-}" == "--chaos" ]]; then
   cmake --preset asan
   cmake --build --preset asan -j "$(nproc)" --target chaos_soak
   exec ./build-asan/bench/chaos_soak --schedules=12 --jobs=2 --seconds=0.005 "$@"
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  shift
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  if [[ $# -eq 0 ]]; then
+    exec ctest --preset tsan -R 'Telemetry|Metrics|SnapshotRing|ParallelRunner|Duration'
+  fi
+  exec ctest --preset tsan "$@"
 fi
 
 cmake --preset asan

@@ -9,10 +9,14 @@ Usage:
 
 Exits non-zero when any kernel present in both documents regressed by more
 than its threshold in mpps, or when the fresh run's FlowAuditProbe overhead
-exceeds the audit budget (the flow-audit PR's <= 15% acceptance bar).
-Kernels only present on one side are reported but never fail the gate, so
-adding a bench row does not require regenerating the baseline in the same
-change.
+exceeds the audit budget (the flow-audit PR's <= 15% acceptance bar), or
+when its TelemetryProbe overhead exceeds the telemetry budget (the live
+telemetry PR's <= 5% bar). Kernels only present on one side are reported
+but never fail the gate, so adding a bench row does not require
+regenerating the baseline in the same change; that also holds for gated
+kernels — a --gate naming a row that the fresh run has but the baseline
+lacks prints a "new row, skipping" notice and gates from the next baseline
+regeneration onward.
 
 The default threshold is deliberately loose (15%): shared CI runners are
 noisy, and this gate exists to catch structural regressions (an accidental
@@ -21,8 +25,10 @@ single-digit jitter. `--gate NAME=FRAC` tightens (or loosens) the bar for
 one kernel — e.g. `--gate engine=0.02` holds the bare-engine row to 2% so
 pay-for-what-you-use features (fault injection, probes) cannot tax the
 fault-free fast path and hide inside the loose global threshold. A gate
-naming a kernel absent from either document is an error: a tightened gate
-that silently stopped gating would defeat its purpose.
+naming a kernel absent from the fresh run is an error: a tightened gate
+that silently stopped gating would defeat its purpose. Absent from only
+the baseline is the one benign case (the row is brand new), announced
+loudly rather than failed.
 
 Every failure path exits with a one-line message naming the file and the
 problem; `--self-test` exercises those paths plus the gate arithmetic with
@@ -33,7 +39,8 @@ import argparse
 import json
 import sys
 
-AUDIT_BUDGET = 0.15  # acceptance bar for FlowAuditProbe overhead
+AUDIT_BUDGET = 0.15      # acceptance bar for FlowAuditProbe overhead
+TELEMETRY_BUDGET = 0.05  # acceptance bar for TelemetryProbe overhead
 SCHEMA = "laps-perf-v1"
 
 
@@ -93,11 +100,17 @@ def compare(fresh_doc, fresh, base, threshold, gates):
     lines = []
     failures = []
     for name in gates:
-        if name not in base or name not in fresh:
-            side = "baseline" if name not in base else "fresh run"
+        if name not in fresh:
             failures.append(
                 f"--gate {name}={gates[name]}: kernel {name!r} is not in "
-                f"the {side}; a gate that gates nothing is a config error")
+                "the fresh run; a gate that gates nothing is a config error")
+        elif name not in base:
+            # A brand-new bench row cannot have a baseline counterpart yet;
+            # the gate arms itself at the next baseline regeneration.
+            lines.append(
+                f"--gate {name}={gates[name]}: new row, skipping "
+                "(no baseline counterpart; gates after the next "
+                "BENCH_kernel.json regeneration)")
     lines.append(f"{'kernel':<16} {'baseline':>10} {'fresh':>10} {'delta':>8}")
     for name in base:
         if name not in fresh:
@@ -126,16 +139,17 @@ def compare(fresh_doc, fresh, base, threshold, gates):
                          f"{fresh[name]['mpps']:>10.3f} {'--':>8}"
                          "  (not gated)")
 
-    audit = fresh_doc.get("audit_probe_overhead")
-    if audit is not None:
-        ok = audit <= AUDIT_BUDGET
-        lines.append(f"audit_probe_overhead: {audit:.1%} "
-                     f"(budget {AUDIT_BUDGET:.0%}) "
+    for field, budget in (("audit_probe_overhead", AUDIT_BUDGET),
+                          ("telemetry_probe_overhead", TELEMETRY_BUDGET)):
+        overhead = fresh_doc.get(field)
+        if overhead is None:
+            continue
+        ok = overhead <= budget
+        lines.append(f"{field}: {overhead:.1%} (budget {budget:.0%}) "
                      f"{'ok' if ok else 'OVER BUDGET'}")
         if not ok:
             failures.append(
-                f"audit_probe_overhead {audit:.1%} exceeds the "
-                f"{AUDIT_BUDGET:.0%} budget")
+                f"{field} {overhead:.1%} exceeds the {budget:.0%} budget")
     return lines, failures
 
 
@@ -172,9 +186,16 @@ def self_test():
     _, fails = run(doc(engine=10.0, probes=9.0), doc(engine=10.0, probes=10.0),
                    gates={"engine": 0.02})
     check("ungated kernel keeps the loose bar", len(fails), 0)
-    # Gating a kernel absent from a side is a config error.
+    # Gating a kernel absent from the fresh run is a config error.
     _, fails = run(doc(engine=10.0), doc(engine=10.0), gates={"ghost": 0.02})
-    check("gate on a missing kernel fails", len(fails), 1)
+    check("gate on a kernel missing from fresh fails", len(fails), 1)
+    # ... but a gated row that is new in the fresh run (no baseline
+    # counterpart yet) is announced and skipped, never failed.
+    lines, fails = run(doc(engine=10.0, fresh_row=10.0), doc(engine=10.0),
+                       gates={"fresh_row": 0.05})
+    check("gate on a new fresh-only row never fails", len(fails), 0)
+    check("new gated row announces the skip",
+          any("new row, skipping" in ln for ln in lines), True)
     # One-sided kernels are reported but never gated.
     _, fails = run(doc(engine=10.0, extra=1.0), doc(engine=10.0, gone=1.0))
     check("one-sided kernels never gate", len(fails), 0)
@@ -186,6 +207,15 @@ def self_test():
     over["audit_probe_overhead"] = 0.20
     _, fails = run(over, doc(engine=10.0))
     check("audit overhead over budget fails", len(fails), 1)
+    # Telemetry budget enforcement too, at its own (tighter) bar.
+    over = doc(engine=10.0)
+    over["telemetry_probe_overhead"] = 0.07
+    _, fails = run(over, doc(engine=10.0))
+    check("telemetry overhead over budget fails", len(fails), 1)
+    under = doc(engine=10.0)
+    under["telemetry_probe_overhead"] = 0.03
+    _, fails = run(under, doc(engine=10.0))
+    check("telemetry overhead under budget passes", len(fails), 0)
     # Improvements never fail.
     _, fails = run(doc(engine=20.0), doc(engine=10.0))
     check("speedups pass", len(fails), 0)

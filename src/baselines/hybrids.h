@@ -54,6 +54,17 @@ class HashMigrateScheduler final : public StaticHashScheduler {
     return detector_.snapshot();
   }
 
+  /// StaticHash's liveness churn plus the detector/pin-table occupancies
+  /// this hybrid adds on top.
+  SchedTelemetry telemetry_sample() const override {
+    SchedTelemetry t = StaticHashScheduler::telemetry_sample();
+    t.afc_occupancy = static_cast<std::int64_t>(detector_.afd().afc_size());
+    t.afd_hits = static_cast<std::int64_t>(detector_.stats().afc_hits);
+    t.afd_evictions = static_cast<std::int64_t>(detector_.stats().demotions);
+    t.pinned_flows = static_cast<std::int64_t>(pins_.size());
+    return t;
+  }
+
   /// Degradation: pins to the dead core are dead routes — drop them, then
   /// let StaticHash rehash the bucket table over the survivors.
   void notify_core_down(CoreId core, const NpuView& view) override {
@@ -113,6 +124,14 @@ class AfsPowerScheduler final : public StaticHashScheduler,
   std::string name() const override { return "AFS+power"; }
 
   std::map<std::string, double> extra_stats() const override;
+
+  /// StaticHash's liveness churn plus the power-gating occupancies.
+  SchedTelemetry telemetry_sample() const override {
+    SchedTelemetry t = StaticHashScheduler::telemetry_sample();
+    t.parked_cores = static_cast<std::int64_t>(power_.parked_count());
+    t.wake_strikes = static_cast<std::int64_t>(power_.wake_strikes_total());
+    return t;
+  }
 
   void notify_core_down(CoreId core, const NpuView& view) override {
     last_now_ = view.now();

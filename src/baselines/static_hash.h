@@ -28,6 +28,15 @@ class StaticHashScheduler : public Scheduler {
 
   std::string name() const override { return "StaticHash"; }
 
+  /// The only mechanism a pure hash scheduler owns is the liveness bitmap,
+  /// so that is the only telemetry field it exports. Derived hybrids
+  /// extend this sample with their own mechanisms.
+  SchedTelemetry telemetry_sample() const override {
+    SchedTelemetry t;
+    t.core_transitions = static_cast<std::int64_t>(live_.transitions());
+    return t;
+  }
+
   /// Degradation: rebuild the bucket table over the live cores (a global
   /// rehash — Dittmann's scheme has no incremental structure to do better,
   /// which is exactly the contrast with LAPS's drain/remap).

@@ -293,6 +293,30 @@ std::vector<std::uint64_t> LapsScheduler::aggressive_snapshot() const {
   return detector_->snapshot();
 }
 
+SchedTelemetry LapsScheduler::telemetry_sample() const {
+  SchedTelemetry t;
+  // detector_/allocator_ are built at attach(); a pre-attach sample (the
+  // probe's run-begin field-discovery pass) reports empty mechanisms, not
+  // N/A — the fields exist for this policy, they are just still zero.
+  t.afc_occupancy =
+      detector_ ? static_cast<std::int64_t>(detector_->afd().afc_size()) : 0;
+  t.afd_hits =
+      detector_ ? static_cast<std::int64_t>(detector_->stats().afc_hits) : 0;
+  t.afd_evictions =
+      detector_ ? static_cast<std::int64_t>(detector_->stats().demotions) : 0;
+  std::int64_t pinned = 0;
+  for (const FlowPinner& pinner : pinners_) {
+    pinned += static_cast<std::int64_t>(pinner.migration_table().size());
+  }
+  t.pinned_flows = pinned;
+  if (config_.power_gating) {
+    t.parked_cores = static_cast<std::int64_t>(power_.parked_count());
+    t.wake_strikes = static_cast<std::int64_t>(power_.wake_strikes_total());
+  }
+  t.core_transitions = static_cast<std::int64_t>(live_.transitions());
+  return t;
+}
+
 std::map<std::string, double> LapsScheduler::extra_stats() const {
   const AfdStats& afd_stats = detector_->stats();
   std::uint64_t stale = 0;

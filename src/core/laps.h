@@ -144,6 +144,13 @@ class LapsScheduler final : public Scheduler, private PowerHost {
   /// read-only hardware-style lookup, so sampling never perturbs it.
   std::vector<std::uint64_t> aggressive_snapshot() const override;
 
+  /// Current mechanism occupancies for the telemetry layer: AFC size and
+  /// hit/eviction totals, pinned flows summed over services, power-gating
+  /// state (when enabled), and LiveCoreSet churn. Safe pre-attach (all
+  /// zeros / N/A) — the TelemetryProbe samples once at run begin to learn
+  /// which gauges this policy exports.
+  SchedTelemetry telemetry_sample() const override;
+
   /// Graceful degradation on core failure (drain/remap protocol, see
   /// DESIGN.md): the dead core is taken offline in the allocator, its
   /// migration pins are dropped, and its map-table buckets are drained.

@@ -23,6 +23,8 @@ class LiveCoreSet {
   explicit LiveCoreSet(std::size_t num_cores) { reset(num_cores); }
 
   /// Sizes the set to `num_cores`, all live (every scheduler's attach()).
+  /// Keeps the lifetime transition count: attach-time resets don't erase
+  /// fault history from telemetry.
   void reset(std::size_t num_cores) { down_.assign(num_cores, 0); }
 
   /// Marks a core down. Returns true when this call changed its state
@@ -31,6 +33,7 @@ class LiveCoreSet {
   bool mark_down(CoreId core) {
     if (core >= down_.size() || down_[core] != 0) return false;
     down_[core] = 1;
+    ++transitions_;
     return true;
   }
 
@@ -39,8 +42,14 @@ class LiveCoreSet {
   bool mark_up(CoreId core) {
     if (core >= down_.size() || down_[core] == 0) return false;
     down_[core] = 0;
+    ++transitions_;
     return true;
   }
+
+  /// Lifetime count of actual state flips (a mark_down/mark_up that
+  /// returned true). The telemetry meter for how much fault churn this
+  /// scheduler absorbed.
+  std::uint64_t transitions() const { return transitions_; }
 
   /// True while `core` is failed. Out-of-range cores read as down: a core
   /// id the scheduler was never attached with cannot be routed to.
@@ -62,6 +71,7 @@ class LiveCoreSet {
 
  private:
   std::vector<std::uint8_t> down_;
+  std::uint64_t transitions_ = 0;
 };
 
 }  // namespace laps

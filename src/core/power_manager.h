@@ -109,6 +109,22 @@ class PowerManager {
   TimeNs parked_total(TimeNs now) const;
   std::uint64_t sleep_events() const { return sleep_events_; }
   std::uint64_t wake_events() const { return wake_events_; }
+
+  /// Cores parked right now (telemetry gauge; O(num_cores) scan, called at
+  /// epoch cadence, not per packet).
+  std::size_t parked_count() const {
+    std::size_t n = 0;
+    for (const bool p : parked_) n += p;
+    return n;
+  }
+
+  /// Current wake-hysteresis strikes summed across services (telemetry
+  /// gauge for how hard the backoff doubling is leaning on wakes).
+  std::uint64_t wake_strikes_total() const {
+    std::uint64_t n = 0;
+    for (const std::uint32_t s : wake_strikes_) n += s;
+    return n;
+  }
   /// Adds the power keys (parked_core_us, sleep_events, wake_events) to a
   /// stats map; only when enabled, so gating-off artifacts stay identical.
   void append_stats(std::map<std::string, double>& stats, TimeNs now) const;

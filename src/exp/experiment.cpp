@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -84,6 +85,18 @@ std::vector<JobResult> ParallelRunner::run(const ExperimentPlan& plan) {
   std::atomic<std::size_t> done{0};
   const std::size_t total = plan.size();
 
+  // Grid telemetry: ids are registered up front (registration must precede
+  // the workers' first local_shard() call, which freezes the set); each
+  // worker then publishes into its own shard with no cross-thread traffic.
+  telemetry::CounterId c_jobs, c_offered, c_delivered, c_dropped, c_busy_us;
+  if (metrics_ != nullptr) {
+    c_jobs = metrics_->counter("exp.jobs_completed");
+    c_offered = metrics_->counter("exp.packets_offered");
+    c_delivered = metrics_->counter("exp.packets_delivered");
+    c_dropped = metrics_->counter("exp.packets_dropped");
+    c_busy_us = metrics_->counter("exp.worker_busy_us");
+  }
+
   std::vector<JobResult> results = parallel_index_map(
       jobs_, total, [&](std::size_t i) -> JobResult {
         const ExperimentJob& job = plan.jobs()[i];
@@ -99,6 +112,15 @@ std::vector<JobResult> ParallelRunner::run(const ExperimentPlan& plan) {
         // scheduler self-reports differently (e.g. parameterized variants).
         out.report.scenario = job.scenario;
         out.report.scheduler = job.scheduler;
+        if (metrics_ != nullptr) {
+          telemetry::MetricsRegistry::Shard& shard = metrics_->local_shard();
+          shard.add(c_jobs);
+          shard.add(c_offered, out.report.offered);
+          shard.add(c_delivered, out.report.delivered);
+          shard.add(c_dropped, out.report.dropped);
+          shard.add(c_busy_us,
+                    static_cast<std::uint64_t>(out.wall_seconds * 1e6));
+        }
         const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
         std::fprintf(stderr, "[%zu/%zu] %s/%s seed=%llu (%.2fs)\n", n, total,
                      job.scenario.c_str(), job.scheduler.c_str(),

@@ -8,6 +8,10 @@
 
 #include "sim/runner.h"
 
+namespace laps::telemetry {
+class MetricsRegistry;
+}
+
 namespace laps {
 
 /// A named scheduler recipe. The factory is called once per job, on the
@@ -116,12 +120,21 @@ class ParallelRunner {
   /// Runs every job; reports progress on stderr as jobs finish.
   std::vector<JobResult> run(const ExperimentPlan& plan);
 
+  /// Optional live telemetry: when set, every worker publishes exp.* grid
+  /// counters (jobs completed, packets offered/delivered/dropped, busy
+  /// micros) into its own registry shard as jobs finish, so a concurrent
+  /// snapshot_counters() watches grid throughput and worker utilization
+  /// live. The registry must outlive run(); null (the default) costs
+  /// nothing.
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   const RunnerStats& stats() const { return stats_; }
   std::size_t jobs() const { return jobs_; }
 
  private:
   std::size_t jobs_;
   RunnerStats stats_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace laps

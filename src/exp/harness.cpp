@@ -14,6 +14,9 @@
 #include "sim/flow_audit.h"
 #include "sim/probes.h"
 #include "sim/report_json.h"
+#include "telemetry/export.h"
+#include "telemetry/probe.h"
+#include "util/duration.h"
 #include "util/thread_pool.h"
 
 namespace laps {
@@ -75,6 +78,26 @@ HarnessOptions parse_harness_flags(Flags& flags) {
         "--flight-dump requires --flight-recorder=PATH");
   }
 
+  // Bare --telemetry keeps the default interval; --telemetry=250us etc. go
+  // through the shared duration grammar (util::parse_duration), so the
+  // registry's "idle_th=5us" literals work here unchanged. Either output
+  // flag implies --telemetry.
+  if (flags.has("telemetry")) {
+    opts.telemetry = true;
+    const std::string interval = flags.get_string("telemetry", "");
+    if (!interval.empty()) {
+      opts.telemetry_interval = util::parse_duration("--telemetry", interval);
+      if (opts.telemetry_interval <= 0) {
+        throw std::invalid_argument("--telemetry interval must be > 0");
+      }
+    }
+  }
+  opts.telemetry_out = flags.get_string("telemetry-out", "");
+  opts.telemetry_prom = flags.get_string("telemetry-prom", "");
+  if (!opts.telemetry_out.empty() || !opts.telemetry_prom.empty()) {
+    opts.telemetry = true;
+  }
+
   opts.faults_spec = flags.get_string("faults", "");
   if (!opts.faults_spec.empty()) {
     opts.faults =
@@ -127,7 +150,7 @@ namespace {
 bool any_probe_configured(const HarnessOptions& opts) {
   return !opts.timeseries_path.empty() || !opts.trace_path.empty() ||
          !opts.flow_audit_path.empty() || !opts.afd_accuracy_path.empty() ||
-         !opts.flight_path.empty();
+         !opts.flight_path.empty() || opts.telemetry;
 }
 
 }  // namespace
@@ -157,6 +180,7 @@ SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
   std::optional<AfdAccuracyProbe> accuracy;
   std::optional<FlightRecorderProbe> flight;
   std::optional<FaultProbe> fault_probe;
+  std::optional<telemetry::TelemetryProbe> telem;
   ProbeSet extra;
   TimeNs epoch_ns = 0;
   if (!opts.timeseries_path.empty()) {
@@ -196,6 +220,18 @@ SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
   if (!opts.fault_timeline_path.empty() && effective->faults != nullptr) {
     fault_probe.emplace();
     extra.add(&*fault_probe);
+  }
+  if (opts.telemetry) {
+    telemetry::TelemetryConfig telem_cfg;
+    telem_cfg.interval = opts.telemetry_interval;
+    // When a trace is also requested, merge counter tracks (queue depth,
+    // occupancies, drop/migration totals) into its timeline.
+    telem.emplace(telem_cfg, &scheduler, trace ? &*trace : nullptr);
+    extra.add(&*telem);
+    // The engine has one epoch cadence; an earlier probe's window wins and
+    // snapshots then ride that cadence (the probe snapshots on the first
+    // epoch sample at/after each interval boundary).
+    if (epoch_ns == 0) epoch_ns = opts.telemetry_interval;
   }
   // Probes attach before the run so the scheduler name reflects the instance
   // actually used (grid jobs construct schedulers per job).
@@ -245,6 +281,23 @@ SimReport run_observed(const ScenarioConfig& config, Scheduler& scheduler,
     fault_probe->write(path);
     std::fprintf(stderr, "wrote fault timeline: %s (%zu events)\n",
                  path.c_str(), fault_probe->timeline().size());
+  }
+  if (telem) {
+    if (!opts.telemetry_out.empty()) {
+      const std::string path = per_run_path(opts.telemetry_out, config.name,
+                                            scheduler.name(), config.seed);
+      telemetry::write_telemetry_jsonl(path, *telem);
+      std::fprintf(stderr, "wrote telemetry stream: %s (%llu snapshots)\n",
+                   path.c_str(),
+                   static_cast<unsigned long long>(
+                       telem->final_snapshot().seq + 1));
+    }
+    if (!opts.telemetry_prom.empty()) {
+      const std::string path = per_run_path(opts.telemetry_prom, config.name,
+                                            scheduler.name(), config.seed);
+      telemetry::write_telemetry_prometheus(path, *telem);
+      std::fprintf(stderr, "wrote telemetry exposition: %s\n", path.c_str());
+    }
   }
   return report;
 }

@@ -35,6 +35,12 @@ struct HarnessOptions {
   std::uint64_t flight_ooo_spike = 256;    ///< OOO/window trigger; 0 = off
   double flight_window_us = 100.0;     ///< anomaly-counting window
   bool flight_dump = false;            ///< dump even without an anomaly
+  // Live telemetry (src/telemetry): epoch-cadence metric snapshots.
+  bool telemetry = false;              ///< --telemetry[=interval] given (or
+                                       ///< implied by an output path below)
+  TimeNs telemetry_interval = 100 * kMicrosecond;  ///< snapshot cadence
+  std::string telemetry_out;           ///< JSONL stream stem; empty = none
+  std::string telemetry_prom;          ///< Prometheus exposition stem
   // Fault injection (sim/fault.h).
   std::string faults_spec;             ///< raw --faults grammar, for display
   std::shared_ptr<const FaultPlan> faults;  ///< parsed plan; null = none
@@ -69,6 +75,13 @@ struct HarnessOptions {
 ///   --flight-ooo-spike=N      OOO/window that trigger a dump (0 = off)
 ///   --flight-window-us=N      anomaly window width (default 100 us)
 ///   --flight-dump             dump the ring even without an anomaly
+///   --telemetry[=D]           live telemetry snapshots every D of simulated
+///                             time (util::parse_duration suffixes: "250us",
+///                             "2ms", bare = ns; default 100us). Implied by
+///                             the two output flags below.
+///   --telemetry-out=P         per-run streaming JSONL (stem P), one
+///                             snapshot per line, final totals last
+///   --telemetry-prom=P        per-run Prometheus text exposition (stem P)
 ///   --faults=SPEC             fault schedule (parse_fault_plan grammar,
 ///                             e.g. "down:3@10ms;up:3@30ms")
 ///   --fault-timeline=P        per-run fault timeline + recovery metrics

@@ -13,6 +13,7 @@
 #include "baselines/oracle_topk.h"
 #include "baselines/static_hash.h"
 #include "core/laps.h"
+#include "util/duration.h"
 
 namespace laps {
 namespace {
@@ -99,33 +100,15 @@ bool parse_bool(const std::string& scheduler, const std::string& key,
 
 TimeNs parse_duration(const std::string& scheduler, const std::string& key,
                       const std::string& value) {
-  // Two-character suffixes first so "5us" is not read as "5u" + "s".
-  double scale = 1.0;  // bare numbers are nanoseconds
-  std::string digits = value;
-  const auto strip = [&digits](const char* suffix, std::size_t len) {
-    if (digits.size() > len &&
-        digits.compare(digits.size() - len, len, suffix) == 0) {
-      digits.resize(digits.size() - len);
-      return true;
-    }
-    return false;
-  };
-  if (strip("ns", 2)) {
-    scale = 1.0;
-  } else if (strip("us", 2)) {
-    scale = static_cast<double>(kMicrosecond);
-  } else if (strip("ms", 2)) {
-    scale = static_cast<double>(kMillisecond);
-  } else if (strip("s", 1)) {
-    scale = static_cast<double>(kSecond);
+  // The suffix grammar lives in util::parse_duration (shared with the
+  // harness --telemetry flag); only the exception type is ours. The message
+  // text is byte-identical to the pre-hoist registry errors.
+  try {
+    return util::parse_duration(
+        "scheduler '" + scheduler + "': parameter '" + key + "'", value);
+  } catch (const std::invalid_argument& e) {
+    throw SchedulerSpecError(e.what());
   }
-  const double number = parse_double(scheduler, key, digits);
-  if (number < 0) {
-    throw SchedulerSpecError("scheduler '" + scheduler + "': parameter '" +
-                             key + "' wants a non-negative duration, got '" +
-                             value + "'");
-  }
-  return static_cast<TimeNs>(number * scale + 0.5);
 }
 
 /// Typed accessors over a parsed parameter map. Every key a scheduler

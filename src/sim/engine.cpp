@@ -65,7 +65,24 @@ void SimEngine::emit_epochs_until(TimeNs t) {
     for_probes([&](SimProbe& p) {
       p.on_epoch(boundary, {views_.data(), views_.size()});
     });
+    emit_engine_sample(boundary);
   }
+}
+
+void SimEngine::emit_engine_sample(TimeNs t) {
+  EngineSample sample;
+  sample.completions = completions_handled_;
+  sample.wheel_cascades = completions_.cascades();
+  sample.flows = flows_.size();
+  sample.rob_occupancy =
+      config_.restore_order ? static_cast<std::uint64_t>(rob_.occupancy()) : 0;
+  std::uint32_t live = static_cast<std::uint32_t>(config_.num_cores);
+  if (faults_on_) {
+    live = 0;
+    for (const std::uint8_t d : down_) live += (d == 0);
+  }
+  sample.live_cores = live;
+  for_probes([&](SimProbe& p) { p.on_engine_sample(t, sample); });
 }
 
 void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
@@ -152,6 +169,7 @@ void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
       }
       if (epochs) emit_epochs_until(c.time);
       now_ = c.time;
+      ++completions_handled_;
       handle_completion(c.core);
     }
   }
@@ -198,6 +216,7 @@ void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
     end.extra["rob_stranded_packets"] =
         static_cast<double>(rob_.occupancy());
   }
+  if (!probes_.empty()) emit_engine_sample(end.end);
   for_probes([&](SimProbe& p) { p.on_run_end(end); });
   scheduler_.set_event_sink(nullptr);
 }

@@ -203,6 +203,11 @@ class SimEngine final : public NpuView, public SchedEventSink {
     Completion pop() {
       return kind_ == EventQueueKind::kWheel ? wheel_.pop() : heap_.pop();
     }
+    /// Cascade count for telemetry (the wheel's amortized-work meter; the
+    /// heap has no equivalent and reports 0).
+    std::uint64_t cascades() const {
+      return kind_ == EventQueueKind::kWheel ? wheel_.cascades() : 0;
+    }
 
    private:
     EventQueueKind kind_ = EventQueueKind::kWheel;
@@ -214,6 +219,9 @@ class SimEngine final : public NpuView, public SchedEventSink {
   void handle_completion(CoreId core);
   void start_service(CoreId core);
   void emit_epochs_until(TimeNs t);
+  /// Fans out on_engine_sample with current engine-internal state. Called
+  /// per epoch boundary and once before on_run_end; probes-attached only.
+  void emit_engine_sample(TimeNs t);
   /// Applies one fault event. `advance` moves the clock to event.time
   /// (epochs included); trailing events after drain apply frozen.
   void apply_fault(const FaultEvent& event, bool advance);
@@ -236,6 +244,7 @@ class SimEngine final : public NpuView, public SchedEventSink {
   std::vector<CoreState> cores_;
   std::vector<CoreView> views_;
   CompletionQueue completions_;
+  std::uint64_t completions_handled_ = 0;  ///< for EngineSample telemetry
   FlowBlock flows_;
   ReorderBuffer rob_;  // used only when config_.restore_order
 

@@ -37,6 +37,19 @@ struct RunEnd {
   std::map<std::string, double> extra;
 };
 
+/// Engine-internal state sampled at epoch boundaries for telemetry: the
+/// counters and occupancies only the engine can see (its completion queue,
+/// flow table, reorder buffer, fault bitmap). Delivered via
+/// on_engine_sample alongside each on_epoch fan-out, plus once at run end,
+/// so probes never reach into the engine.
+struct EngineSample {
+  std::uint64_t completions = 0;     ///< completion events handled so far
+  std::uint64_t wheel_cascades = 0;  ///< timing-wheel cascades (0 on heap)
+  std::uint64_t flows = 0;           ///< flow-table size (flows ever seen)
+  std::uint64_t rob_occupancy = 0;   ///< reorder-buffer residents (0 if off)
+  std::uint32_t live_cores = 0;      ///< cores not faulted down
+};
+
 /// Passive observer of the simulation fast path.
 ///
 /// The engine invokes hooks in a fixed order per packet lifecycle:
@@ -107,6 +120,15 @@ class SimProbe {
   virtual void on_epoch(TimeNs now, std::span<const CoreView> cores) {
     (void)now;
     (void)cores;
+  }
+
+  /// Engine-internal counters/occupancies, emitted right after the
+  /// on_epoch fan-out at each boundary and once more just before
+  /// on_run_end. Purely observational — fires only when probes are
+  /// attached, so probe-free runs are untouched.
+  virtual void on_engine_sample(TimeNs now, const EngineSample& sample) {
+    (void)now;
+    (void)sample;
   }
 
   /// A scheduler-internal decision, timestamped by the engine.

@@ -308,8 +308,8 @@ std::string ChromeTraceProbe::to_json() const {
             ",\"ts\":" + std::to_string(to_us(e.start));
     if (e.phase == 'X') {
       line += ",\"dur\":" + std::to_string(to_us(e.duration));
-    } else {
-      line += ",\"s\":\"t\"";
+    } else if (e.phase == 'i') {
+      line += ",\"s\":\"t\"";  // instant scope; counters take neither field
     }
     line += ",\"name\":" + JsonWriter::quote(e.name);
     if (!e.args_json.empty()) line += ",\"args\":" + e.args_json;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/probe.h"
@@ -110,6 +111,16 @@ class ChromeTraceProbe final : public SimProbe {
   void on_sched_event(TimeNs now, const SchedEvent& event) override;
 
   std::size_t num_events() const { return events_.size(); }
+
+  /// Appends a 'C' (counter) sample at `now`. `args_json` is the
+  /// pre-rendered numeric args object, e.g. `{"depth":3,"max":7}` — each
+  /// key renders as one counter track stacked with the event rows. Used by
+  /// the TelemetryProbe to merge queue-depth/occupancy/rate tracks into
+  /// the same timeline as the span events.
+  void add_counter(TimeNs now, std::string name, std::string args_json) {
+    events_.push_back(Event{'C', now, 0, static_cast<std::uint32_t>(0),
+                            std::move(name), std::move(args_json)});
+  }
 
   /// The {"traceEvents": [...]} document.
   std::string to_json() const;

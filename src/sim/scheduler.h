@@ -89,6 +89,21 @@ class SchedEventSink {
   virtual void sched_event(const SchedEvent& event) = 0;
 };
 
+/// Scheduler-internal occupancies and counters sampled for telemetry at
+/// epoch cadence. Every field defaults to -1 = "not applicable to this
+/// policy"; implementations fill only what their mechanisms track, and the
+/// TelemetryProbe registers gauges only for fields that were >= 0 in the
+/// run-begin sample (so FCFS runs don't export a parade of dead zeros).
+struct SchedTelemetry {
+  std::int64_t afc_occupancy = -1;     ///< live AFC entries (AFD cache)
+  std::int64_t afd_hits = -1;          ///< AFC hits (detector fast path)
+  std::int64_t afd_evictions = -1;     ///< AFC demotions (victims evicted)
+  std::int64_t pinned_flows = -1;      ///< migration-table entries
+  std::int64_t parked_cores = -1;      ///< cores power-gated right now
+  std::int64_t wake_strikes = -1;      ///< wake-hysteresis strikes issued
+  std::int64_t core_transitions = -1;  ///< LiveCoreSet up/down flips seen
+};
+
 /// Packet scheduler interface — the decision logic in the Frame Manager
 /// (paper Fig. 1/3). One call per arriving packet; the returned core's input
 /// queue receives the descriptor (the simulator drops the packet if that
@@ -143,6 +158,12 @@ class Scheduler {
   virtual std::vector<std::uint64_t> aggressive_snapshot() const {
     return {};
   }
+
+  /// Telemetry sample: current mechanism occupancies/counters, -1 for
+  /// fields the policy has no mechanism for (see SchedTelemetry). Sampled
+  /// by the TelemetryProbe at epoch cadence; must be read-only and cheap
+  /// (it runs a few thousand times per simulated second, not per packet).
+  virtual SchedTelemetry telemetry_sample() const { return {}; }
 };
 
 }  // namespace laps

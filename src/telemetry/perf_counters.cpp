@@ -1,0 +1,105 @@
+#include "telemetry/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace laps::telemetry {
+
+#if defined(__linux__)
+
+namespace {
+
+const std::uint64_t kConfigs[4] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int open_counter(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // TOTAL_TIME_ENABLED/RUNNING let us scale away kernel multiplexing when
+  // four counters don't all fit in hardware slots simultaneously.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: this thread, any CPU. group_fd=-1: independent
+  // counters, so one unsupported event doesn't take down the rest.
+  return static_cast<int>(
+      syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+double read_scaled(int fd) {
+  if (fd < 0) return 0;
+  std::uint64_t data[3] = {0, 0, 0};  // value, time_enabled, time_running
+  if (read(fd, data, sizeof(data)) != static_cast<ssize_t>(sizeof(data))) {
+    return 0;
+  }
+  if (data[2] == 0) return 0;  // never scheduled onto hardware
+  return static_cast<double>(data[0]) * static_cast<double>(data[1]) /
+         static_cast<double>(data[2]);
+}
+
+}  // namespace
+
+PerfCounterScope::PerfCounterScope() {
+  for (int i = 0; i < kCounters; ++i) fds_[i] = open_counter(kConfigs[i]);
+}
+
+PerfCounterScope::~PerfCounterScope() {
+  for (int i = 0; i < kCounters; ++i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+  }
+}
+
+bool PerfCounterScope::available() const {
+  for (int i = 0; i < kCounters; ++i) {
+    if (fds_[i] >= 0) return true;
+  }
+  return false;
+}
+
+void PerfCounterScope::start() {
+  for (int i = 0; i < kCounters; ++i) {
+    if (fds_[i] < 0) continue;
+    ioctl(fds_[i], PERF_EVENT_IOC_RESET, 0);
+    ioctl(fds_[i], PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfCounterReading PerfCounterScope::stop() {
+  PerfCounterReading reading;
+  for (int i = 0; i < kCounters; ++i) {
+    if (fds_[i] >= 0) ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+  }
+  reading.available = available();
+  reading.cycles = read_scaled(fds_[0]);
+  reading.instructions = read_scaled(fds_[1]);
+  reading.cache_misses = read_scaled(fds_[2]);
+  reading.branch_misses = read_scaled(fds_[3]);
+  return reading;
+}
+
+#else  // !__linux__ — the whole scope is a no-op.
+
+PerfCounterScope::PerfCounterScope() = default;
+PerfCounterScope::~PerfCounterScope() = default;
+bool PerfCounterScope::available() const { return false; }
+void PerfCounterScope::start() {}
+PerfCounterReading PerfCounterScope::stop() { return {}; }
+
+#endif
+
+}  // namespace laps::telemetry

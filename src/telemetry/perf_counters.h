@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+namespace laps::telemetry {
+
+/// Hardware-counter readings over one start()/stop() interval. When the
+/// kernel multiplexed the counters (more software users than hardware
+/// slots), values are scaled by time_enabled/time_running per counter —
+/// the standard perf extrapolation. `available` is false when no counter
+/// could be opened; every value is then zero.
+struct PerfCounterReading {
+  bool available = false;
+  double cycles = 0;
+  double instructions = 0;
+  double cache_misses = 0;
+  double branch_misses = 0;
+
+  double ipc() const { return cycles > 0 ? instructions / cycles : 0.0; }
+};
+
+/// RAII wrapper over `perf_event_open` for the four counters the perf
+/// trajectory cares about: cycles, instructions, cache-misses,
+/// branch-misses (self, user+kernel excluded-kernel, per-thread).
+///
+/// Designed for graceful no-op degradation: containers and locked-down CI
+/// runners reject the syscall (EACCES/EPERM under
+/// kernel.perf_event_paranoid, ENOSYS under seccomp) — then available()
+/// is false, start()/stop() cost nothing, and readings are all-zero with
+/// available=false, so callers emit columns only when there is hardware
+/// truth behind them. Non-Linux builds compile to the same no-op.
+class PerfCounterScope {
+ public:
+  PerfCounterScope();
+  ~PerfCounterScope();
+  PerfCounterScope(const PerfCounterScope&) = delete;
+  PerfCounterScope& operator=(const PerfCounterScope&) = delete;
+
+  /// True when at least one hardware counter opened.
+  bool available() const;
+
+  /// Resets and enables the counters (no-op when unavailable).
+  void start();
+
+  /// Disables the counters and returns the interval reading.
+  PerfCounterReading stop();
+
+ private:
+  static constexpr int kCounters = 4;
+  int fds_[kCounters] = {-1, -1, -1, -1};
+};
+
+}  // namespace laps::telemetry

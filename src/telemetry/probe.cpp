@@ -1,0 +1,256 @@
+#include "telemetry/probe.h"
+
+#include <string>
+
+#include "sim/fault.h"
+
+namespace laps::telemetry {
+
+TelemetryProbe::TelemetryProbe(TelemetryConfig config,
+                               const Scheduler* scheduler,
+                               ChromeTraceProbe* trace)
+    : config_(config),
+      scheduler_(scheduler),
+      trace_(trace),
+      ring_(config.ring_capacity) {
+  register_instruments();
+}
+
+void TelemetryProbe::register_instruments() {
+  c_offered_ = registry_.counter("engine.offered");
+  c_dropped_ = registry_.counter("engine.dropped");
+  c_dispatched_ = registry_.counter("engine.dispatched");
+  c_delivered_ = registry_.counter("engine.delivered");
+  c_ooo_ = registry_.counter("engine.out_of_order");
+  c_migrations_ = registry_.counter("engine.flow_migrations");
+  c_completions_ = registry_.counter("engine.completions");
+  c_cascades_ = registry_.counter("engine.wheel_cascades");
+  c_core_grants_ = registry_.counter("sched.core_grants");
+  c_core_denied_ = registry_.counter("sched.core_denied");
+  c_parks_ = registry_.counter("sched.parks");
+  c_wakes_ = registry_.counter("sched.wakes");
+  c_afd_promotions_ = registry_.counter("sched.afd_promotions");
+  c_aggressive_migrations_ = registry_.counter("sched.aggressive_migrations");
+  c_fault_events_ = registry_.counter("fault.events");
+  g_queue_total_ = registry_.gauge("engine.queue_depth_total");
+  g_queue_max_ = registry_.gauge("engine.queue_depth_max");
+  g_live_cores_ = registry_.gauge("engine.live_cores");
+  g_rob_occupancy_ = registry_.gauge("engine.rob_occupancy");
+  g_flows_ = registry_.gauge("engine.flows");
+  g_outages_ = registry_.gauge("fault.outages_in_flight");
+  h_latency_ = registry_.histogram("engine.latency_ns");
+}
+
+void TelemetryProbe::on_run_begin(const RunInfo& info) {
+  info_ = info;
+  finished_ = false;
+  next_snapshot_ = config_.interval;
+
+  // Late registration happens here, before the first local_shard() call
+  // freezes the instrument set: per-core queue gauges, and the sched.*
+  // fields this policy actually exports (telemetry_sample() returns -1
+  // for mechanisms it does not own — those gauges are never created).
+  const std::size_t per_core =
+      info.num_cores < config_.max_per_core_gauges ? info.num_cores
+                                                   : config_.max_per_core_gauges;
+  g_queue_core_.clear();
+  for (std::size_t c = 0; c < per_core; ++c) {
+    g_queue_core_.push_back(
+        registry_.gauge("engine.queue_depth.core" + std::to_string(c)));
+  }
+  if (scheduler_ != nullptr) {
+    const SchedTelemetry probe = scheduler_->telemetry_sample();
+    if (probe.afc_occupancy >= 0) {
+      g_afc_occupancy_ = registry_.gauge("sched.afc_occupancy");
+    }
+    if (probe.afd_hits >= 0) g_afd_hits_ = registry_.gauge("sched.afd_hits");
+    if (probe.afd_evictions >= 0) {
+      g_afd_evictions_ = registry_.gauge("sched.afd_evictions");
+    }
+    if (probe.pinned_flows >= 0) {
+      g_pinned_flows_ = registry_.gauge("sched.pinned_flows");
+    }
+    if (probe.parked_cores >= 0) {
+      g_parked_cores_ = registry_.gauge("sched.parked_cores");
+    }
+    if (probe.wake_strikes >= 0) {
+      g_wake_strikes_ = registry_.gauge("sched.wake_strikes");
+    }
+    if (probe.core_transitions >= 0) {
+      g_core_transitions_ = registry_.gauge("sched.core_transitions");
+    }
+  }
+
+  shard_ = &registry_.local_shard();
+  cell_offered_ = shard_->counter_cell(c_offered_);
+  cell_dropped_ = shard_->counter_cell(c_dropped_);
+  cell_dispatched_ = shard_->counter_cell(c_dispatched_);
+  cell_delivered_ = shard_->counter_cell(c_delivered_);
+  cell_ooo_ = shard_->counter_cell(c_ooo_);
+  cell_migrations_ = shard_->counter_cell(c_migrations_);
+  latency_cell_ = shard_->histogram_cell(h_latency_);
+  n_offered_ = n_dropped_ = n_dispatched_ = 0;
+  n_delivered_ = n_ooo_ = n_migrations_ = 0;
+  last_completions_ = 0;
+  last_cascades_ = 0;
+  outages_in_flight_ = 0;
+}
+
+void TelemetryProbe::on_arrival(TimeNs, const SimPacket&) { ++n_offered_; }
+
+void TelemetryProbe::on_drop(TimeNs, const SimPacket&, CoreId) {
+  ++n_dropped_;
+}
+
+void TelemetryProbe::on_dispatch(TimeNs, const SimPacket&, CoreId,
+                                 bool migrated) {
+  ++n_dispatched_;
+  if (migrated) ++n_migrations_;
+}
+
+void TelemetryProbe::on_departure(TimeNs now, const SimPacket& pkt, CoreId,
+                                  std::uint32_t new_ooo) {
+  ++n_delivered_;
+  if (new_ooo != 0) n_ooo_ += new_ooo;
+  latency_cell_->record(now - pkt.arrival);
+}
+
+void TelemetryProbe::publish_packet_counters() {
+  // Single-writer publication of the local totals (absolute stores, not
+  // deltas: the local cells ARE the counters; the registry cells mirror
+  // them at boundary cadence).
+  cell_offered_->store(n_offered_, std::memory_order_relaxed);
+  cell_dropped_->store(n_dropped_, std::memory_order_relaxed);
+  cell_dispatched_->store(n_dispatched_, std::memory_order_relaxed);
+  cell_delivered_->store(n_delivered_, std::memory_order_relaxed);
+  cell_ooo_->store(n_ooo_, std::memory_order_relaxed);
+  cell_migrations_->store(n_migrations_, std::memory_order_relaxed);
+}
+
+void TelemetryProbe::on_epoch(TimeNs, std::span<const CoreView> cores) {
+  std::int64_t total = 0;
+  std::int64_t max = 0;
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    const std::int64_t depth = static_cast<std::int64_t>(cores[c].queue_len);
+    total += depth;
+    if (depth > max) max = depth;
+    if (c < g_queue_core_.size()) shard_->set(g_queue_core_[c], depth);
+  }
+  shard_->set(g_queue_total_, total);
+  shard_->set(g_queue_max_, max);
+
+  if (scheduler_ != nullptr) {
+    const SchedTelemetry t = scheduler_->telemetry_sample();
+    if (g_afc_occupancy_.valid()) shard_->set(g_afc_occupancy_, t.afc_occupancy);
+    if (g_afd_hits_.valid()) shard_->set(g_afd_hits_, t.afd_hits);
+    if (g_afd_evictions_.valid()) {
+      shard_->set(g_afd_evictions_, t.afd_evictions);
+    }
+    if (g_pinned_flows_.valid()) shard_->set(g_pinned_flows_, t.pinned_flows);
+    if (g_parked_cores_.valid()) shard_->set(g_parked_cores_, t.parked_cores);
+    if (g_wake_strikes_.valid()) shard_->set(g_wake_strikes_, t.wake_strikes);
+    if (g_core_transitions_.valid()) {
+      shard_->set(g_core_transitions_, t.core_transitions);
+    }
+  }
+}
+
+void TelemetryProbe::on_engine_sample(TimeNs now, const EngineSample& sample) {
+  publish_packet_counters();
+  // Cumulative engine meters arrive as totals; publish deltas so the
+  // instruments stay monotone counters in every exposition.
+  shard_->add(c_completions_, sample.completions - last_completions_);
+  last_completions_ = sample.completions;
+  shard_->add(c_cascades_, sample.wheel_cascades - last_cascades_);
+  last_cascades_ = sample.wheel_cascades;
+  shard_->set(g_live_cores_, static_cast<std::int64_t>(sample.live_cores));
+  shard_->set(g_rob_occupancy_,
+              static_cast<std::int64_t>(sample.rob_occupancy));
+  shard_->set(g_flows_, static_cast<std::int64_t>(sample.flows));
+
+  // The snapshot decision rides the engine sample (not on_epoch) so the
+  // published snapshot always carries the engine gauges set just above.
+  if (now >= next_snapshot_) {
+    take_snapshot(now);
+    while (next_snapshot_ <= now) next_snapshot_ += config_.interval;
+  }
+}
+
+void TelemetryProbe::on_sched_event(TimeNs, const SchedEvent& event) {
+  switch (event.kind) {
+    case SchedEvent::Kind::kCoreGrant:
+      shard_->add(c_core_grants_);
+      break;
+    case SchedEvent::Kind::kCoreDenied:
+      shard_->add(c_core_denied_);
+      break;
+    case SchedEvent::Kind::kAggressiveMigration:
+      shard_->add(c_aggressive_migrations_);
+      break;
+    case SchedEvent::Kind::kAfdPromotion:
+      shard_->add(c_afd_promotions_);
+      break;
+    case SchedEvent::Kind::kPark:
+      shard_->add(c_parks_);
+      break;
+    case SchedEvent::Kind::kWake:
+      shard_->add(c_wakes_);
+      break;
+    default:
+      break;  // fault-injection markers are counted via on_fault
+  }
+}
+
+void TelemetryProbe::on_fault(TimeNs, const FaultEvent& event, std::uint32_t) {
+  shard_->add(c_fault_events_);
+  if (event.kind == FaultKind::kCoreDown) {
+    ++outages_in_flight_;
+  } else if (event.kind == FaultKind::kCoreUp && outages_in_flight_ > 0) {
+    --outages_in_flight_;
+  }
+  shard_->set(g_outages_, outages_in_flight_);
+}
+
+void TelemetryProbe::on_run_end(const RunEnd& end) {
+  // The engine emits a final engine sample before on_run_end, but publish
+  // again so a probe driven directly by hooks (tests) is exact too.
+  publish_packet_counters();
+  final_ = registry_.snapshot(end.end);
+  finished_ = true;
+}
+
+void TelemetryProbe::take_snapshot(TimeNs now) {
+  // Same thread as every writer hook, so the full (histogram-inclusive)
+  // snapshot is safe here; see MetricsRegistry's concurrency model.
+  MetricsSnapshot snap = registry_.snapshot(now);
+  if (trace_ != nullptr) emit_trace_counters(now, snap);
+  ring_.push(std::move(snap));
+}
+
+void TelemetryProbe::emit_trace_counters(TimeNs now,
+                                         const MetricsSnapshot& snap) {
+  const auto gauge = [&](GaugeId id) -> std::int64_t {
+    return id.valid() ? snap.gauges[id.index] : 0;
+  };
+  const auto counter = [&](CounterId id) -> std::uint64_t {
+    return snap.counters[id.index];
+  };
+  trace_->add_counter(now, "queue_depth",
+                      "{\"total\":" + std::to_string(gauge(g_queue_total_)) +
+                          ",\"max\":" + std::to_string(gauge(g_queue_max_)) +
+                          "}");
+  trace_->add_counter(
+      now, "occupancy",
+      "{\"live_cores\":" + std::to_string(gauge(g_live_cores_)) +
+          ",\"rob\":" + std::to_string(gauge(g_rob_occupancy_)) +
+          (g_afc_occupancy_.valid()
+               ? ",\"afc\":" + std::to_string(gauge(g_afc_occupancy_))
+               : "") +
+          "}");
+  trace_->add_counter(
+      now, "totals",
+      "{\"drops\":" + std::to_string(counter(c_dropped_)) +
+          ",\"migrations\":" + std::to_string(counter(c_migrations_)) + "}");
+}
+
+}  // namespace laps::telemetry

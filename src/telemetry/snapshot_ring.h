@@ -1,0 +1,82 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace laps::telemetry {
+
+/// Bounded single-producer / single-consumer ring of MetricsSnapshots.
+///
+/// The producer is the TelemetryProbe on the sim thread; the consumer is
+/// whoever streams snapshots out (an exporter draining at run end, or a
+/// live monitor thread popping concurrently). Lock-free: one acquire load
+/// of the opposite index plus a release store of your own per operation,
+/// so a full ring costs the producer a branch, never a stall.
+///
+/// `push` fails (returns false) when the ring is full — telemetry must
+/// never exert backpressure on the engine — and the producer-side
+/// `dropped()` counter records how many snapshots were lost that way.
+class SnapshotRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2). The ring
+  /// holds capacity-1 snapshots when no consumer drains it.
+  explicit SnapshotRing(std::size_t capacity = 256)
+      : slots_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  SnapshotRing(const SnapshotRing&) = delete;
+  SnapshotRing& operator=(const SnapshotRing&) = delete;
+
+  /// Producer side. False (and ++dropped) when full.
+  bool push(MetricsSnapshot snap) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == mask_) {  // capacity-1 usable slots
+      ++dropped_;
+      return false;
+    }
+    slots_[tail & mask_] = std::move(snap);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when the ring is drained.
+  std::optional<MetricsSnapshot> pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return std::nullopt;
+    MetricsSnapshot snap = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return snap;
+  }
+
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return mask_; }  // usable slots
+
+  /// Snapshots discarded because the ring was full (producer-side count;
+  /// read it from the producer thread or after it quiesces).
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<MetricsSnapshot> slots_;
+  const std::size_t mask_;
+  std::atomic<std::size_t> head_{0};  // next slot to pop
+  std::atomic<std::size_t> tail_{0};  // next slot to fill
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace laps::telemetry

@@ -1,0 +1,754 @@
+// Tests for the live-telemetry subsystem: MetricsRegistry (sharded
+// single-writer instruments, relaxed-atomic publication, freeze-on-shard),
+// SnapshotRing (bounded SPSC, drop-not-block), TelemetryProbe (epoch
+// snapshots, exact end-of-run reconciliation, per-policy gauge discovery),
+// the JSONL / Prometheus / Chrome-trace exporters, the shared duration
+// grammar, ParallelRunner grid telemetry, and PerfCounterScope's graceful
+// degradation.
+//
+// The load-bearing assertions are:
+//  * GoldenGridFinalSnapshotMatchesReport — on the golden determinism grid
+//    the probe's final snapshot must equal the SimReport *exactly* (the
+//    telemetry stream is the report, sliced in time, not an approximation),
+//  * GoldenTelemetryOnDoesNotPerturbTheRun — attaching the probe (with
+//    epochs on) leaves the physics byte-identical,
+//  * ExactAggregatesAlongsideBuckets — the Prometheus exposition carries
+//    exact count/sum/max next to the <= 1/32-error bucket bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/afs.h"
+#include "baselines/fcfs.h"
+#include "baselines/static_hash.h"
+#include "core/laps.h"
+#include "exp/experiment.h"
+#include "exp/scheduler_registry.h"
+#include "sim/engine.h"
+#include "sim/probes.h"
+#include "sim/report_json.h"
+#include "sim/runner.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/perf_counters.h"
+#include "telemetry/probe.h"
+#include "telemetry/snapshot_ring.h"
+#include "trace/synthetic.h"
+#include "util/duration.h"
+#include "util/histogram.h"
+
+namespace laps {
+namespace {
+
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+using telemetry::SnapshotRing;
+using telemetry::TelemetryConfig;
+using telemetry::TelemetryProbe;
+
+// ------------------------------------------------------------ test helpers ---
+
+// Same golden scenario the determinism and flow-audit suites pin: small
+// enough to run a 16-cell grid in seconds, busy enough to exercise drops,
+// reordering, and migrations.
+ScenarioConfig golden_scenario(const std::string& trace, std::uint64_t seed,
+                               double load_mpps) {
+  ScenarioConfig cfg;
+  cfg.name = "golden." + trace;
+  cfg.num_cores = 4;
+  cfg.queue_capacity = 8;
+  cfg.seconds = 0.002;
+  cfg.seed = seed;
+  cfg.restore_order = false;
+  SyntheticTraceSpec spec;
+  spec.name = trace;
+  spec.num_flows = 4096;
+  spec.seed = seed * 31 + 7;
+  if (trace == "churny") {
+    spec.churn_per_packet = 0.01;
+    spec.zipf_alpha = 1.2;
+  }
+  ServiceTraffic s;
+  s.path = ServicePath::kIpForward;
+  s.rate = HoltWintersParams{load_mpps, 0.0, 0.0, 10.0, 0.0};
+  s.trace = std::make_shared<SyntheticTrace>(spec);
+  cfg.services = {s};
+  return cfg;
+}
+
+std::unique_ptr<Scheduler> make_sched(const std::string& name) {
+  if (name == "FCFS") return std::make_unique<FcfsScheduler>();
+  if (name == "StaticHash") return std::make_unique<StaticHashScheduler>();
+  if (name == "AFS") return std::make_unique<AfsScheduler>();
+  LapsConfig cfg;
+  cfg.num_services = 1;
+  return std::make_unique<LapsScheduler>(cfg);
+}
+
+std::size_t index_of(const std::vector<std::string>& names,
+                     const std::string& name) {
+  const auto it = std::find(names.begin(), names.end(), name);
+  EXPECT_NE(it, names.end()) << "instrument not registered: " << name;
+  return static_cast<std::size_t>(it - names.begin());
+}
+
+std::uint64_t counter_value(const TelemetryProbe& probe,
+                            const MetricsSnapshot& snap,
+                            const std::string& name) {
+  return snap.counters[index_of(probe.registry().counter_names(), name)];
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Extracts the integer following `"key":` in a JSON line. The exporter
+// emits flat numeric fields, so scanning is enough for the tests.
+std::uint64_t json_uint(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << "missing " << key << " in: " << line;
+  if (at == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + at + needle.size(), nullptr, 10);
+}
+
+// The numeric sample at the end of the first exposition line starting with
+// `prefix` ("laps_foo_count{" style). Prometheus lines are `name{labels} v`.
+std::optional<double> prom_value(const std::string& text,
+                                 const std::string& prefix) {
+  for (const std::string& line : split_lines(text)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) return std::nullopt;
+    return std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return std::nullopt;
+}
+
+// ----------------------------------------------------------- MetricsRegistry ---
+
+TEST(MetricsRegistry, RegistrationIsIdempotentAndOrdered) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("alpha");
+  const auto b = reg.counter("beta");
+  const auto a2 = reg.counter("alpha");
+  EXPECT_EQ(a.index, a2.index) << "re-registering a name must return its id";
+  EXPECT_NE(a.index, b.index);
+  const auto g = reg.gauge("alpha");  // separate namespace per kind
+  EXPECT_EQ(g.index, 0u);
+  const auto h = reg.histogram("lat");
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(reg.counter_names(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(reg.gauge_names(), (std::vector<std::string>{"alpha"}));
+  EXPECT_EQ(reg.histogram_names(), (std::vector<std::string>{"lat"}));
+}
+
+TEST(MetricsRegistry, FreezesNewNamesOnceShardsExist) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("alpha");
+  MetricsRegistry::Shard& shard = reg.local_shard();
+  shard.add(a, 3);
+  // Existing names still resolve; new names are structural changes that
+  // would race shard sizing, so they throw.
+  EXPECT_EQ(reg.counter("alpha").index, a.index);
+  EXPECT_THROW(reg.counter("fresh"), std::logic_error);
+  EXPECT_THROW(reg.gauge("fresh"), std::logic_error);
+  EXPECT_THROW(reg.histogram("fresh"), std::logic_error);
+  EXPECT_EQ(reg.snapshot_counters(0).counters[a.index], 3u);
+}
+
+TEST(MetricsRegistry, LocalShardIsStablePerThread) {
+  MetricsRegistry reg;
+  reg.counter("c");
+  MetricsRegistry::Shard& s1 = reg.local_shard();
+  MetricsRegistry::Shard& s2 = reg.local_shard();
+  EXPECT_EQ(&s1, &s2);
+  EXPECT_EQ(reg.num_shards(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry reg;
+  const auto g = reg.gauge("depth");
+  MetricsRegistry::Shard& shard = reg.local_shard();
+  shard.set(g, 41);
+  shard.set(g, -7);
+  EXPECT_EQ(reg.snapshot_counters(0).gauges[g.index], -7);
+}
+
+TEST(MetricsRegistry, SnapshotSumsAcrossShardsExactly) {
+  // The TSan-pinned contract: N writer threads each own a shard and hammer
+  // counters/gauges/histograms while the main thread runs concurrent
+  // counters-only snapshots (race-free by construction); the full snapshot
+  // after join must be exact.
+  MetricsRegistry reg;
+  const auto c = reg.counter("events");
+  const auto g = reg.gauge("level");
+  const auto h = reg.histogram("size");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+
+  std::atomic<bool> go{false};
+  std::atomic<int> running{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      MetricsRegistry::Shard& shard = reg.local_shard();
+      running.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        shard.add(c);
+        shard.set(g, static_cast<std::int64_t>(t + 1));
+        shard.record(h, static_cast<std::int64_t>(i % 1024));
+      }
+    });
+  }
+  while (running.load() != kThreads) {
+  }
+  go.store(true, std::memory_order_release);
+  // Concurrent observer: totals must be monotone and never torn past the
+  // final sum. (Under TSan this loop is the race detector's probe.)
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const MetricsSnapshot snap = reg.snapshot_counters(i);
+    EXPECT_GE(snap.counters[c.index], last);
+    EXPECT_LE(snap.counters[c.index], kThreads * kPerThread);
+    last = snap.counters[c.index];
+  }
+  for (std::thread& w : writers) w.join();
+
+  const MetricsSnapshot snap = reg.snapshot(0);
+  EXPECT_EQ(snap.counters[c.index], kThreads * kPerThread);
+  // Gauges sum across shards; each thread last wrote t+1.
+  EXPECT_EQ(snap.gauges[g.index], 1 + 2 + 3 + 4);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, kThreads * kPerThread);
+  EXPECT_EQ(snap.histograms[0].max, 1023);
+  const Histogram merged = reg.merged_histogram(h);
+  EXPECT_EQ(merged.count(), kThreads * kPerThread);
+  EXPECT_EQ(reg.num_shards(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(MetricsRegistry, SnapshotSequenceIsMonotone) {
+  MetricsRegistry reg;
+  reg.counter("c");
+  const auto s1 = reg.snapshot_counters(10);
+  const auto s2 = reg.snapshot(20);
+  const auto s3 = reg.snapshot_counters(30);
+  EXPECT_LT(s1.seq, s2.seq);
+  EXPECT_LT(s2.seq, s3.seq);
+  EXPECT_EQ(s2.sim_time, 20);
+}
+
+// -------------------------------------------------------------- SnapshotRing ---
+
+MetricsSnapshot stamped(std::uint64_t seq) {
+  MetricsSnapshot snap;
+  snap.seq = seq;
+  snap.sim_time = static_cast<TimeNs>(seq * 100);
+  return snap;
+}
+
+TEST(SnapshotRing, FifoOrderAndCapacityRounding) {
+  SnapshotRing ring(3);  // rounds up to 4 slots -> 3 usable
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_TRUE(ring.push(stamped(1)));
+  EXPECT_TRUE(ring.push(stamped(2)));
+  EXPECT_EQ(ring.size(), 2u);
+  const auto a = ring.pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->seq, 1u);
+  EXPECT_TRUE(ring.push(stamped(3)));
+  const auto b = ring.pop();
+  const auto c = ring.pop();
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(b->seq, 2u);
+  EXPECT_EQ(c->seq, 3u);
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(SnapshotRing, FullRingDropsInsteadOfBlocking) {
+  SnapshotRing ring(4);
+  for (std::uint64_t i = 0; i < ring.capacity(); ++i) {
+    EXPECT_TRUE(ring.push(stamped(i)));
+  }
+  EXPECT_FALSE(ring.push(stamped(99)));
+  EXPECT_FALSE(ring.push(stamped(100)));
+  EXPECT_EQ(ring.dropped(), 2u);
+  // Draining one slot reopens the ring; the dropped count is cumulative.
+  ASSERT_TRUE(ring.pop().has_value());
+  EXPECT_TRUE(ring.push(stamped(101)));
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(SnapshotRing, WrapsManyTimesWithoutLoss) {
+  SnapshotRing ring(2);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.push(stamped(i)));
+    const auto got = ring.pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->seq, i);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+// ------------------------------------------------------------ duration flags ---
+
+TEST(DurationGrammar, ParsesEverySuffixAndBareNanoseconds) {
+  EXPECT_EQ(util::parse_duration("t", "250"), 250);
+  EXPECT_EQ(util::parse_duration("t", "5ns"), 5);
+  EXPECT_EQ(util::parse_duration("t", "5us"), 5'000);
+  EXPECT_EQ(util::parse_duration("t", "2ms"), 2'000'000);
+  EXPECT_EQ(util::parse_duration("t", "1s"), 1'000'000'000);
+  EXPECT_EQ(util::parse_duration("t", "1.5us"), 1'500);
+  EXPECT_EQ(util::parse_duration("t", "0"), 0);
+}
+
+TEST(DurationGrammar, RejectsGarbageAndNegativesWithContext) {
+  try {
+    util::parse_duration("--telemetry", "12parsecs");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--telemetry"), std::string::npos) << what;
+    EXPECT_NE(what.find("wants a number"), std::string::npos) << what;
+  }
+  try {
+    util::parse_duration("--telemetry", "-5us");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-negative duration"), std::string::npos) << what;
+  }
+}
+
+TEST(DurationGrammar, RegistryParameterErrorsMatchByteForByte) {
+  // Satellite contract: the scheduler registry's duration parameters and
+  // the telemetry flag share one grammar AND one error voice. Pin the
+  // registry's message to exactly what util::parse_duration produces for
+  // the same context string.
+  std::string registry_msg;
+  try {
+    make_scheduler("laps:idle_th=12parsecs");
+    FAIL() << "expected SchedulerSpecError";
+  } catch (const SchedulerSpecError& e) {
+    registry_msg = e.what();
+  }
+  std::string util_msg;
+  try {
+    util::parse_duration("scheduler 'laps': parameter 'idle_th'", "12parsecs");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    util_msg = e.what();
+  }
+  EXPECT_EQ(registry_msg, util_msg);
+}
+
+// ------------------------------------------------------------ TelemetryProbe ---
+
+TEST(TelemetryProbe, GoldenTelemetryOnDoesNotPerturbTheRun) {
+  // Attaching the probe turns epochs on; the run's physics must still be
+  // byte-identical to the bare run (probes observe, never steer).
+  for (const std::string trace : {"plain", "churny"}) {
+    const ScenarioConfig cfg = golden_scenario(trace, 42, 12.0);
+    auto bare_sched = make_sched("LAPS");
+    const SimReport bare = run_scenario(cfg, *bare_sched);
+
+    auto sched = make_sched("LAPS");
+    TelemetryProbe probe({}, sched.get());
+    const SimReport instrumented =
+        run_scenario(cfg, *sched, ProbeSet{&probe}, 100 * kMicrosecond);
+    EXPECT_EQ(report_to_json(bare), report_to_json(instrumented)) << trace;
+  }
+}
+
+TEST(TelemetryProbe, GoldenGridFinalSnapshotMatchesReport) {
+  // The reconciliation contract over the golden grid: the final snapshot's
+  // engine counters and latency aggregates equal the SimReport exactly.
+  for (const std::string trace : {"plain", "churny"}) {
+    for (const std::string sched_name :
+         {"FCFS", "StaticHash", "AFS", "LAPS"}) {
+      for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{42}}) {
+        const ScenarioConfig cfg = golden_scenario(trace, seed, 12.0);
+        auto sched = make_sched(sched_name);
+        TelemetryProbe probe({}, sched.get());
+        const SimReport report =
+            run_scenario(cfg, *sched, ProbeSet{&probe}, 100 * kMicrosecond);
+        ASSERT_TRUE(probe.finished());
+        const MetricsSnapshot& fin = probe.final_snapshot();
+        const std::string cell =
+            trace + "/" + sched_name + "/seed=" + std::to_string(seed);
+        EXPECT_EQ(counter_value(probe, fin, "engine.offered"), report.offered)
+            << cell;
+        EXPECT_EQ(counter_value(probe, fin, "engine.dropped"), report.dropped)
+            << cell;
+        EXPECT_EQ(counter_value(probe, fin, "engine.delivered"),
+                  report.delivered)
+            << cell;
+        EXPECT_EQ(counter_value(probe, fin, "engine.out_of_order"),
+                  report.out_of_order)
+            << cell;
+        EXPECT_EQ(counter_value(probe, fin, "engine.flow_migrations"),
+                  report.flow_migrations)
+            << cell;
+        const std::size_t h =
+            index_of(probe.registry().histogram_names(), "engine.latency_ns");
+        ASSERT_LT(h, fin.histograms.size());
+        EXPECT_EQ(fin.histograms[h].count, report.latency_ns.count()) << cell;
+        EXPECT_EQ(fin.histograms[h].sum, report.latency_ns.sum()) << cell;
+        EXPECT_EQ(fin.histograms[h].max, report.latency_ns.max()) << cell;
+        // Sanity on the grid itself: the golden load actually exercises
+        // the interesting counters somewhere.
+        EXPECT_GT(report.offered, 0u) << cell;
+      }
+    }
+  }
+}
+
+TEST(TelemetryProbe, StreamsMonotoneSnapshotsAtEpochCadence) {
+  const ScenarioConfig cfg = golden_scenario("plain", 1, 12.0);
+  auto sched = make_sched("LAPS");
+  TelemetryConfig tcfg;
+  tcfg.interval = 100 * kMicrosecond;
+  TelemetryProbe probe(tcfg, sched.get());
+  run_scenario(cfg, *sched, ProbeSet{&probe}, 100 * kMicrosecond);
+
+  // 2ms of simulated time at 100us cadence: ~20 snapshots, minus edge
+  // effects. They must be time-ordered with monotone counters.
+  std::size_t n = 0;
+  std::uint64_t last_seq = 0;
+  TimeNs last_time = -1;
+  std::uint64_t last_offered = 0;
+  const std::size_t offered_idx =
+      index_of(probe.registry().counter_names(), "engine.offered");
+  while (const auto snap = probe.ring().pop()) {
+    if (n > 0) {
+      EXPECT_GT(snap->seq, last_seq);
+      EXPECT_GT(snap->sim_time, last_time);
+      EXPECT_GE(snap->counters[offered_idx], last_offered);
+    }
+    last_seq = snap->seq;
+    last_time = snap->sim_time;
+    last_offered = snap->counters[offered_idx];
+    EXPECT_FALSE(snap->histograms.empty())
+        << "published snapshots are full snapshots";
+    ++n;
+  }
+  EXPECT_GE(n, 15u);
+  EXPECT_LE(n, 25u);
+  EXPECT_EQ(probe.ring().dropped(), 0u);
+}
+
+TEST(TelemetryProbe, DiscoversGaugesPerSchedulerPolicy) {
+  // sched.* gauges exist only for mechanisms the policy owns: LAPS has the
+  // AFD cache and pinner; StaticHash only the liveness bitmap; FCFS nothing.
+  const auto gauges_for = [](const std::string& sched_name) {
+    const ScenarioConfig cfg = golden_scenario("plain", 1, 4.0);
+    auto sched = make_sched(sched_name);
+    TelemetryProbe probe({}, sched.get());
+    run_scenario(cfg, *sched, ProbeSet{&probe}, 100 * kMicrosecond);
+    return probe.registry().gauge_names();
+  };
+  const auto has = [](const std::vector<std::string>& names,
+                      const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+
+  const auto laps = gauges_for("LAPS");
+  EXPECT_TRUE(has(laps, "sched.afd_hits"));
+  EXPECT_TRUE(has(laps, "sched.afc_occupancy"));
+  EXPECT_TRUE(has(laps, "sched.pinned_flows"));
+
+  const auto hash = gauges_for("StaticHash");
+  EXPECT_TRUE(has(hash, "sched.core_transitions"));
+  EXPECT_FALSE(has(hash, "sched.afd_hits"));
+  EXPECT_FALSE(has(hash, "sched.pinned_flows"));
+
+  const auto fcfs = gauges_for("FCFS");
+  for (const std::string& name : fcfs) {
+    EXPECT_EQ(name.rfind("sched.", 0), std::string::npos)
+        << "FCFS must export no sched.* gauges, got " << name;
+  }
+  // Engine gauges are policy-independent.
+  EXPECT_TRUE(has(fcfs, "engine.queue_depth_total"));
+  EXPECT_TRUE(has(fcfs, "engine.queue_depth.core0"));
+}
+
+// ------------------------------------------------------------- JSONL export ---
+
+TEST(TelemetryExportJsonl, StreamReconcilesAndMarksFinalLine) {
+  const ScenarioConfig cfg = golden_scenario("churny", 42, 12.0);
+  auto sched = make_sched("LAPS");
+  TelemetryProbe probe({}, sched.get());
+  const SimReport report =
+      run_scenario(cfg, *sched, ProbeSet{&probe}, 100 * kMicrosecond);
+
+  const std::string path = testing::TempDir() + "telemetry_stream.jsonl";
+  telemetry::write_telemetry_jsonl(path, probe);
+  EXPECT_EQ(probe.ring().size(), 0u) << "exporter drains the ring";
+
+  const std::vector<std::string> lines = split_lines(read_file(path));
+  ASSERT_GE(lines.size(), 2u);
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].find("\"final\""), std::string::npos)
+        << "only the last line is final";
+  }
+  const std::string& fin = lines.back();
+  EXPECT_NE(fin.find("\"final\":true"), std::string::npos);
+  EXPECT_NE(fin.find("\"dropped_snapshots\":0"), std::string::npos);
+  EXPECT_EQ(json_uint(fin, "engine.offered"), report.offered);
+  EXPECT_EQ(json_uint(fin, "engine.delivered"), report.delivered);
+  EXPECT_EQ(json_uint(fin, "engine.dropped"), report.dropped);
+  EXPECT_EQ(json_uint(fin, "engine.out_of_order"), report.out_of_order);
+  EXPECT_EQ(json_uint(fin, "engine.flow_migrations"), report.flow_migrations);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryExportJsonl, MidRunLinesAreTimeOrderedPrefixSums) {
+  const ScenarioConfig cfg = golden_scenario("plain", 1, 12.0);
+  auto sched = make_sched("AFS");
+  TelemetryProbe probe({}, sched.get());
+  const SimReport report =
+      run_scenario(cfg, *sched, ProbeSet{&probe}, 100 * kMicrosecond);
+
+  const std::string path = testing::TempDir() + "telemetry_prefix.jsonl";
+  telemetry::write_telemetry_jsonl(path, probe);
+  const std::vector<std::string> lines = split_lines(read_file(path));
+  ASSERT_GE(lines.size(), 2u);
+  std::uint64_t last_t = 0;
+  std::uint64_t last_delivered = 0;
+  for (const std::string& line : lines) {
+    const std::uint64_t t = json_uint(line, "t_ns");
+    const std::uint64_t delivered = json_uint(line, "engine.delivered");
+    EXPECT_GE(t, last_t);
+    EXPECT_GE(delivered, last_delivered);
+    EXPECT_LE(delivered, report.delivered);
+    last_t = t;
+    last_delivered = delivered;
+  }
+  EXPECT_EQ(last_delivered, report.delivered);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- Prometheus export ---
+
+TEST(TelemetryPrometheus, EscapingAndMetricNameSanitization) {
+  EXPECT_EQ(telemetry::prometheus_escape("plain"), "plain");
+  EXPECT_EQ(telemetry::prometheus_escape("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(telemetry::prometheus_metric_name("engine.queue_depth.core0"),
+            "laps_engine_queue_depth_core0");
+  EXPECT_EQ(telemetry::prometheus_metric_name("we!rd metric"),
+            "laps_we_rd_metric");
+}
+
+TEST(TelemetryPrometheus, HostileRunLabelsStayWellFormed) {
+  ScenarioConfig cfg = golden_scenario("plain", 1, 4.0);
+  cfg.name = "evil\"quote\\slash\nnewline";
+  auto sched = make_sched("FCFS");
+  TelemetryProbe probe({}, sched.get());
+  run_scenario(cfg, *sched, ProbeSet{&probe}, 100 * kMicrosecond);
+
+  const std::string text = telemetry::prometheus_text(probe);
+  EXPECT_NE(
+      text.find("scenario=\"evil\\\"quote\\\\slash\\nnewline\""),
+      std::string::npos)
+      << text.substr(0, 400);
+  // No raw newline may survive inside a label value: every exposition line
+  // must look like a comment, a name{...} sample, or a bare name sample.
+  for (const std::string& line : split_lines(text)) {
+    const bool comment = line.rfind("#", 0) == 0;
+    const bool sample = line.rfind("laps_", 0) == 0;
+    EXPECT_TRUE(comment || sample) << "torn line: " << line;
+  }
+}
+
+TEST(TelemetryPrometheus, ExactAggregatesAlongsideBuckets) {
+  // Satellite 6 regression: the histogram exposition must carry exact
+  // count/sum/max (not bucket-derived approximations) so consumers can
+  // compute true means; the +Inf bucket agrees with _count.
+  const ScenarioConfig cfg = golden_scenario("churny", 42, 12.0);
+  auto sched = make_sched("LAPS");
+  TelemetryProbe probe({}, sched.get());
+  const SimReport report =
+      run_scenario(cfg, *sched, ProbeSet{&probe}, 100 * kMicrosecond);
+  ASSERT_GT(report.latency_ns.count(), 0u);
+
+  const std::string text = telemetry::prometheus_text(probe);
+  const auto count = prom_value(text, "laps_engine_latency_ns_count{");
+  const auto sum = prom_value(text, "laps_engine_latency_ns_sum{");
+  const auto max = prom_value(text, "laps_engine_latency_ns_max{");
+  ASSERT_TRUE(count.has_value());
+  ASSERT_TRUE(sum.has_value());
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(static_cast<std::uint64_t>(*count), report.latency_ns.count());
+  EXPECT_EQ(static_cast<std::int64_t>(*sum), report.latency_ns.sum());
+  EXPECT_EQ(static_cast<std::int64_t>(*max), report.latency_ns.max());
+
+  // The +Inf bucket is cumulative over everything.
+  std::optional<double> inf_bucket;
+  for (const std::string& line : split_lines(text)) {
+    if (line.rfind("laps_engine_latency_ns_bucket{", 0) == 0 &&
+        line.find("le=\"+Inf\"") != std::string::npos) {
+      inf_bucket = std::strtod(line.c_str() + line.rfind(' ') + 1, nullptr);
+    }
+  }
+  ASSERT_TRUE(inf_bucket.has_value());
+  EXPECT_EQ(static_cast<std::uint64_t>(*inf_bucket),
+            report.latency_ns.count());
+
+  // Counters carry the _total convention; totals match the report exactly.
+  const auto delivered = prom_value(text, "laps_engine_delivered_total{");
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(static_cast<std::uint64_t>(*delivered), report.delivered);
+}
+
+TEST(TelemetryPrometheus, QuantileErrorStaysWithinBucketBound) {
+  // Pins the advertised <= 1/32 relative error of bucket-bound quantiles
+  // against a ground-truth sorted sample set (deterministic LCG draw).
+  Histogram h;
+  std::vector<std::int64_t> values;
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 20'000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const std::int64_t v = static_cast<std::int64_t>((x >> 33) % 1'000'000'000) + 1000;
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    // Mirror Histogram::quantile's rank: target = max(1, floor(q * count)).
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(values.size()));
+    if (target == 0) target = 1;
+    const std::int64_t truth = values[target - 1];
+    const std::int64_t approx = h.quantile(q);
+    EXPECT_GE(approx, truth) << "q=" << q;
+    EXPECT_LE(approx - truth, truth / 32) << "q=" << q;
+  }
+}
+
+// ----------------------------------------------------- Chrome counter tracks ---
+
+TEST(TelemetryProbe, MergesCounterTracksIntoChromeTrace) {
+  const ScenarioConfig cfg = golden_scenario("plain", 1, 12.0);
+  auto sched = make_sched("LAPS");
+  ChromeTraceProbe trace;
+  TelemetryProbe probe({}, sched.get(), &trace);
+  run_scenario(cfg, *sched, ProbeSet{&probe, &trace}, 100 * kMicrosecond);
+
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos)
+      << "telemetry must add counter ('C') events";
+  EXPECT_NE(json.find("queue_depth"), std::string::npos);
+  EXPECT_NE(json.find("occupancy"), std::string::npos);
+}
+
+// -------------------------------------------------- ParallelRunner telemetry ---
+
+SimReport fixed_report(std::uint64_t offered, std::uint64_t delivered,
+                       std::uint64_t dropped) {
+  SimReport r;
+  r.offered = offered;
+  r.delivered = delivered;
+  r.dropped = dropped;
+  return r;
+}
+
+TEST(ParallelRunnerTelemetry, GridCountersSumAcrossWorkers) {
+  ExperimentPlan plan;
+  plan.add("s1", "X", 1, [] { return fixed_report(100, 90, 10); });
+  plan.add("s2", "X", 2, [] { return fixed_report(200, 150, 50); });
+  plan.add("s3", "X", 3, [] { return fixed_report(50, 50, 0); });
+  plan.add("s4", "X", 4, [] { return fixed_report(25, 20, 5); });
+
+  MetricsRegistry reg;
+  ParallelRunner runner(2);
+  runner.set_metrics(&reg);
+  const auto results = runner.run(plan);
+  ASSERT_EQ(results.size(), 4u);
+
+  const auto names = reg.counter_names();
+  const MetricsSnapshot snap = reg.snapshot_counters(0);
+  EXPECT_EQ(snap.counters[index_of(names, "exp.jobs_completed")], 4u);
+  EXPECT_EQ(snap.counters[index_of(names, "exp.packets_offered")], 375u);
+  EXPECT_EQ(snap.counters[index_of(names, "exp.packets_delivered")], 310u);
+  EXPECT_EQ(snap.counters[index_of(names, "exp.packets_dropped")], 65u);
+  EXPECT_LE(reg.num_shards(), 2u) << "one shard per worker thread";
+}
+
+TEST(ParallelRunnerTelemetry, NullRegistryCostsNothing) {
+  ExperimentPlan plan;
+  plan.add("s1", "X", 1, [] { return fixed_report(10, 10, 0); });
+  ParallelRunner runner(1);
+  const auto results = runner.run(plan);  // no set_metrics: must not touch one
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].report.offered, 10u);
+}
+
+// ------------------------------------------------------------- perf counters ---
+
+TEST(TelemetryPerfCounters, DegradesToNoOpWhenHardwareDenied) {
+  telemetry::PerfCounterScope scope;
+  scope.start();
+  // Some work between start and stop so live counters have something to see.
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    sink = sink + static_cast<std::uint64_t>(i) * 3;
+  }
+  const telemetry::PerfCounterReading r = scope.stop();
+  if (scope.available()) {
+    EXPECT_TRUE(r.available);
+    EXPECT_GT(r.cycles, 0.0);
+    EXPECT_GT(r.instructions, 0.0);
+    EXPECT_GT(r.ipc(), 0.0);
+  } else {
+    // Locked-down container / CI: the whole API must be an exact no-op.
+    EXPECT_FALSE(r.available);
+    EXPECT_EQ(r.cycles, 0.0);
+    EXPECT_EQ(r.instructions, 0.0);
+    EXPECT_EQ(r.cache_misses, 0.0);
+    EXPECT_EQ(r.branch_misses, 0.0);
+    EXPECT_EQ(r.ipc(), 0.0);
+  }
+}
+
+TEST(TelemetryPerfCounters, RestartableWithoutLeakingState) {
+  telemetry::PerfCounterScope scope;
+  for (int rep = 0; rep < 3; ++rep) {
+    scope.start();
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 10'000; ++i) sink = sink + static_cast<std::uint64_t>(i);
+    const telemetry::PerfCounterReading r = scope.stop();
+    EXPECT_EQ(r.available, scope.available());
+  }
+}
+
+}  // namespace
+}  // namespace laps
