@@ -74,8 +74,9 @@ int run(laps::Flags& flags) {
                 },
                 laps::observed_runner(harness));
 
-  laps::ParallelRunner runner(harness.jobs);
+  laps::ParallelRunner runner = laps::make_runner(harness);
   const auto results = runner.run(plan);
+  if (const int rc = laps::grid_abort_code(runner)) return rc;
 
   std::printf("=== Adaptive hashing family vs AFS and LAPS (single service, "
               "%.0f%% load, %.2f s) ===\n\n",
@@ -99,7 +100,7 @@ int run(laps::Flags& flags) {
 
   laps::write_json_artifact(harness.json_path, "abl_adaptive_hashing",
                             results, {{"adaptive_hashing", &out}});
-  return 0;
+  return laps::grid_exit_code(runner, results);
 }
 
 }  // namespace

@@ -73,8 +73,9 @@ int run(laps::Flags& flags) {
              });
   }
 
-  laps::ParallelRunner runner(harness.jobs);
+  laps::ParallelRunner runner = laps::make_runner(harness);
   const auto results = runner.run(plan);
+  if (const int rc = laps::grid_abort_code(runner)) return rc;
 
   std::printf("=== LAPS sensitivity on %s (single service, 105%% load, "
               "%.2f s) ===\n\n",
@@ -98,7 +99,7 @@ int run(laps::Flags& flags) {
 
   laps::write_json_artifact(harness.json_path, "abl_laps_sensitivity",
                             results, {{"sensitivity", &out}});
-  return 0;
+  return laps::grid_exit_code(runner, results);
 }
 
 }  // namespace

@@ -55,8 +55,9 @@ int run(laps::Flags& flags) {
              return laps::run_observed(scenario(true), *sched, harness);
            });
 
-  laps::ParallelRunner runner(harness.jobs);
+  laps::ParallelRunner runner = laps::make_runner(harness);
   const auto results = runner.run(plan);
+  if (const int rc = laps::grid_abort_code(runner)) return rc;
 
   std::printf("=== Order preservation (LAPS) vs restoration (FCFS + egress "
               "reorder buffer), %s at %.0f%% load ===\n\n",
@@ -86,7 +87,7 @@ int run(laps::Flags& flags) {
 
   laps::write_json_artifact(harness.json_path, "abl_order_restoration",
                             results, {{"order_restoration", &out}});
-  return 0;
+  return laps::grid_exit_code(runner, results);
 }
 
 }  // namespace

@@ -68,8 +68,9 @@ int run(laps::Flags& flags) {
     }
   }
 
-  laps::ParallelRunner runner(harness.jobs);
+  laps::ParallelRunner runner = laps::make_runner(harness);
   const auto results = runner.run(plan);
+  if (const int rc = laps::grid_abort_code(runner)) return rc;
 
   laps::Table out({"load", "gating", "drop%", "parked core-s", "sleep/wake",
                    "energy (core-s eq)", "energy saved"});
@@ -100,7 +101,7 @@ int run(laps::Flags& flags) {
 
   laps::write_json_artifact(harness.json_path, "abl_power_gating", results,
                             {{"power_gating", &out}});
-  return 0;
+  return laps::grid_exit_code(runner, results);
 }
 
 }  // namespace

@@ -185,30 +185,34 @@ int run(laps::Flags& flags) {
         }
       }
 
+      // Built locally and assigned whole: a cell retried after a transient
+      // failure (e.g. --runner-chaos) must not double-accumulate.
+      ScheduleOutcome local;
       const auto events = report.extra.find("fault_events");
-      outcome->fault_events =
-          events != report.extra.end()
-              ? static_cast<std::uint64_t>(events->second)
-              : 0;
-      outcome->flush_drops = fault_probe.flush_drops();
+      local.fault_events = events != report.extra.end()
+                               ? static_cast<std::uint64_t>(events->second)
+                               : 0;
+      local.flush_drops = fault_probe.flush_drops();
       for (const auto& r : fault_probe.recoveries()) {
-        ++outcome->recoveries;
+        ++local.recoveries;
         if (r.outage_ns() >= 0) {
-          ++outcome->recovered;
-          if (r.outage_ns() > outcome->max_outage_ns) {
-            outcome->max_outage_ns = r.outage_ns();
+          ++local.recovered;
+          if (r.outage_ns() > local.max_outage_ns) {
+            local.max_outage_ns = r.outage_ns();
           }
         }
-        if (r.reintegrate_ns() > outcome->max_reintegrate_ns) {
-          outcome->max_reintegrate_ns = r.reintegrate_ns();
+        if (r.reintegrate_ns() > local.max_reintegrate_ns) {
+          local.max_reintegrate_ns = r.reintegrate_ns();
         }
       }
+      *outcome = local;
       return report;
     });
   }
 
-  laps::ParallelRunner runner(harness.jobs);
+  laps::ParallelRunner runner = laps::make_runner(harness);
   const auto results = runner.run(plan);
+  if (const int rc = laps::grid_abort_code(runner)) return rc;
 
   std::printf("=== chaos_soak: %lld fault schedules, %zu cores, %.3f s, "
               "seed %llu ===\n",
@@ -231,14 +235,20 @@ int run(laps::Flags& flags) {
          laps::Table::num(laps::to_us(o.max_reintegrate_ns), 1)});
   }
   std::cout << table.to_string();
-  std::printf("\nchaos_soak: all %zu schedules passed conservation, "
-              "dead-core routing, non-migrated-flow ordering, and "
-              "bit-identical replay.\n",
-              results.size());
 
   laps::write_json_artifact(harness.json_path, "chaos_soak", results,
                             {{"chaos", &table}});
-  return 0;
+  // Invariant violations throw inside jobs; the resilient runner contains
+  // them as per-cell errors, so the binary's verdict comes from the results
+  // (grid_exit_code lists every failed schedule and returns nonzero).
+  const int rc = laps::grid_exit_code(runner, results);
+  if (rc == 0) {
+    std::printf("\nchaos_soak: all %zu schedules passed conservation, "
+                "dead-core routing, non-migrated-flow ordering, and "
+                "bit-identical replay.\n",
+                results.size());
+  }
+  return rc;
 }
 
 }  // namespace

@@ -102,8 +102,9 @@ int run(laps::Flags& flags) {
                 },
                 laps::observed_runner(harness));
 
-  laps::ParallelRunner runner(harness.jobs);
+  laps::ParallelRunner runner = laps::make_runner(harness);
   const auto results = runner.run(plan);
+  if (const int rc = laps::grid_abort_code(runner)) return rc;
 
   std::printf("=== Fig. 7: LAPS vs FCFS vs AFS, %zu cores, %.2f s, seed %llu "
               "===\n",
@@ -131,7 +132,7 @@ int run(laps::Flags& flags) {
 
   laps::write_json_artifact(harness.json_path, "fig7_scheduler_comparison",
                             results, {{"fig7", &fig}});
-  return 0;
+  return laps::grid_exit_code(runner, results);
 }
 
 }  // namespace

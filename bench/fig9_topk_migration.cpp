@@ -88,8 +88,9 @@ int run(laps::Flags& flags) {
                 },
                 laps::observed_runner(harness));
 
-  laps::ParallelRunner runner(harness.jobs);
+  laps::ParallelRunner runner = laps::make_runner(harness);
   const auto results = runner.run(plan);
+  if (const int rc = laps::grid_abort_code(runner)) return rc;
 
   // Ratios are computed after collection: each trace's AFS row is the base
   // for every scheduler of that trace (plan order is trace-major, AFS
@@ -121,7 +122,7 @@ int run(laps::Flags& flags) {
 
   laps::write_json_artifact(harness.json_path, "fig9_topk_migration", results,
                             {{"fig9", &fig}});
-  return 0;
+  return laps::grid_exit_code(runner, results);
 }
 
 }  // namespace

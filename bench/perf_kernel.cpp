@@ -73,6 +73,7 @@
 #include "telemetry/perf_counters.h"
 #include "telemetry/probe.h"
 #include "trace/synthetic.h"
+#include "util/fileio.h"
 #include "util/json_writer.h"
 #include "util/tableio.h"
 
@@ -366,12 +367,7 @@ int run(Flags& flags) {
     w.field("telemetry_probe_overhead", telemetry_overhead);
     w.end_object();
     const std::string doc = w.str() + "\n";
-    std::FILE* f = std::fopen(harness.json_path.c_str(), "wb");
-    if (f == nullptr) {
-      throw std::runtime_error("cannot open: " + harness.json_path);
-    }
-    std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
+    laps::util::write_file_atomic(harness.json_path, doc, "perf artifact");
     std::fprintf(stderr, "wrote perf artifact: %s\n",
                  harness.json_path.c_str());
   }

@@ -54,8 +54,9 @@ int run(laps::Flags& flags) {
                 },
                 observed_runner(harness));
 
-  ParallelRunner runner(harness.jobs);
+  ParallelRunner runner = make_runner(harness);
   const auto results = runner.run(plan);
+  if (const int rc = grid_abort_code(runner)) return rc;
 
   Table table({"scheduler", "drop%", "cold-cache%", "out-of-order%",
                "migrations", "p99 latency us", "throughput Mpps"});
@@ -75,7 +76,7 @@ int run(laps::Flags& flags) {
 
   write_json_artifact(harness.json_path, "scheduler_comparison", results,
                       {{"comparison", &table}});
-  return 0;
+  return grid_exit_code(runner, results);
 }
 
 }  // namespace

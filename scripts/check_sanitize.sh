@@ -6,6 +6,7 @@
 # Usage: scripts/check_sanitize.sh [ctest-args...]
 #        scripts/check_sanitize.sh --chaos [chaos_soak-args...]
 #        scripts/check_sanitize.sh --tsan [ctest-args...]
+#        scripts/check_sanitize.sh --resilience
 #
 # --chaos builds and runs the chaos_soak fault-injection grid under the
 # sanitizers instead of ctest: every fault path (core flush, stall resume,
@@ -18,6 +19,13 @@
 # snapshot_counters), the snapshot ring, the parallel runner, and the
 # duration parser that both flag paths share. Pass ctest args to widen or
 # narrow the selection.
+#
+# --resilience runs the resilient-runner proof under ASan+UBSan: the
+# resilience test suite (journal codec round-trips, watchdog/retry state
+# machine, and the SIGTERM/SIGKILL kill-and-resume byte-identity
+# differentials), then a chaos_soak slice with runner-level fault injection
+# on (--runner-chaos: seeded transient throws and watchdog-cancelled hangs
+# against the runner itself, every failure retried to success).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +34,20 @@ if [[ "${1:-}" == "--chaos" ]]; then
   cmake --preset asan
   cmake --build --preset asan -j "$(nproc)" --target chaos_soak
   exec ./build-asan/bench/chaos_soak --schedules=12 --jobs=2 --seconds=0.005 "$@"
+fi
+
+if [[ "${1:-}" == "--resilience" ]]; then
+  shift
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)" --target resilience_test chaos_soak
+  ctest --preset asan --output-on-failure \
+    -R 'Journal|HistogramRestore|ParallelRunner|ResumeDifferential'
+  # Runner chaos soak: deterministic seed, transient throws AND hangs
+  # injected into the runner; retries + watchdog must absorb every one
+  # (exit 0) and the invariant checks inside each schedule still hold.
+  exec ./build-asan/bench/chaos_soak --schedules=8 --jobs=2 --seconds=0.004 \
+    --runner-chaos=1905 --runner-chaos-fail=0.2 --runner-chaos-hang=0.05 \
+    --job-timeout=2s --job-retries=6 "$@"
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then

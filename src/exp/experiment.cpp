@@ -1,12 +1,17 @@
 #include "exp/experiment.h"
 
+#include <csignal>
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "exp/journal.h"
+#include "exp/watchdog.h"
 #include "telemetry/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -18,6 +23,105 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+// ------------------------------------------------------------ stop signals --
+
+/// The signal that asked the grid to stop; 0 = none. Written only from the
+/// handler, read by workers between jobs.
+std::atomic<int> g_stop_signal{0};
+
+void stop_handler(int sig) {
+  g_stop_signal.store(sig, std::memory_order_relaxed);
+}
+
+/// Installs SIGINT/SIGTERM handlers for the lifetime of one run() and
+/// restores whatever was there before. Deliberately scoped: a bench that
+/// never asked for signal handling (no journal) keeps the default
+/// die-immediately behavior.
+class SignalGuard {
+ public:
+  explicit SignalGuard(bool install) : installed_(install) {
+    if (!installed_) return;
+    g_stop_signal.store(0, std::memory_order_relaxed);
+    struct sigaction sa = {};
+    sa.sa_handler = stop_handler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, &old_int_);
+    sigaction(SIGTERM, &sa, &old_term_);
+  }
+
+  ~SignalGuard() {
+    if (!installed_) return;
+    sigaction(SIGINT, &old_int_, nullptr);
+    sigaction(SIGTERM, &old_term_, nullptr);
+  }
+
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+  int signal() const {
+    return installed_ ? g_stop_signal.load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  bool installed_;
+  struct sigaction old_int_ = {};
+  struct sigaction old_term_ = {};
+};
+
+// ------------------------------------------------------------------- chaos --
+
+double unit_draw(Rng& rng) {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+/// Wraps one attempt's job body with the chaos injector. The draw is a pure
+/// function of (chaos seed, job fingerprint, attempt), so a chaos run is
+/// reproducible and each retry of the same cell re-rolls the dice.
+std::function<SimReport()> with_chaos(const std::function<SimReport()>& job,
+                                      const RunnerPolicy::Chaos& chaos,
+                                      std::uint64_t fingerprint,
+                                      std::size_t attempt) {
+  if (!chaos.enabled) return job;
+  return [job, chaos, fingerprint, attempt]() -> SimReport {
+    Rng rng(mix64(mix64(chaos.seed ^ fingerprint) +
+                  static_cast<std::uint64_t>(attempt)));
+    const double u = unit_draw(rng);
+    if (u < chaos.fail_prob) {
+      throw TransientError("chaos: injected transient fault (draw " +
+                           std::to_string(u) + ")");
+    }
+    if (u < chaos.fail_prob + chaos.hang_prob) {
+      // Hang until the watchdog cancels us (checked every millisecond);
+      // check_cancelled throws JobCancelled, classified as a timeout.
+      for (;;) {
+        JobWatchdog::check_cancelled();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return job();
+  };
+}
+
+bool is_transient(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const TransientError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string error_message(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
 }
 
 }  // namespace
@@ -74,69 +178,235 @@ void ExperimentPlan::add_grid(const std::vector<std::string>& scenarios,
   }
 }
 
-ParallelRunner::ParallelRunner(std::size_t jobs)
-    : jobs_(ThreadPool::resolve(jobs)) {}
+ParallelRunner::ParallelRunner(std::size_t jobs, RunnerPolicy policy)
+    : jobs_(ThreadPool::resolve(jobs)), policy_(std::move(policy)) {
+  if (policy_.chaos.enabled && policy_.chaos.hang_prob > 0 &&
+      policy_.job_timeout <= 0) {
+    throw std::invalid_argument(
+        "ParallelRunner: chaos hang injection requires a job timeout "
+        "(nothing else would ever unblock a hung attempt)");
+  }
+  if (policy_.resume && policy_.journal_path.empty()) {
+    throw std::invalid_argument("ParallelRunner: resume requires a journal");
+  }
+}
 
 std::vector<JobResult> ParallelRunner::run(const ExperimentPlan& plan) {
   stats_ = RunnerStats{};
-  stats_.jobs_used = plan.size() <= 1 ? std::min<std::size_t>(1, plan.size())
-                                      : std::min(jobs_, plan.size());
-  const auto t0 = std::chrono::steady_clock::now();
-  std::atomic<std::size_t> done{0};
+  stop_signal_ = 0;
   const std::size_t total = plan.size();
+  stats_.jobs_used = total <= 1 ? std::min<std::size_t>(1, total)
+                                : std::min(jobs_, total);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Journal + per-cell fingerprints. Opening the journal validates (or
+  // writes) the header before any job runs, so a stale journal fails fast.
+  std::optional<ExperimentJournal> journal;
+  if (!policy_.journal_path.empty()) {
+    ExperimentJournal::Config cfg;
+    cfg.path = policy_.journal_path;
+    cfg.plan_seed = plan.plan_seed();
+    cfg.salt = policy_.journal_salt;
+    cfg.num_jobs = total;
+    journal.emplace(std::move(cfg), policy_.resume);
+  }
+  std::vector<std::uint64_t> fingerprints(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    fingerprints[i] = job_fingerprint(plan.plan_seed(), policy_.journal_salt,
+                                      i, plan.jobs()[i]);
+  }
+
+  // Results are pre-sized and slot-indexed: each cell is written by exactly
+  // one worker (or restored here), so no result lock is needed.
+  std::vector<JobResult> results(total);
+  std::vector<char> completed(total, 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    const ExperimentJob& job = plan.jobs()[i];
+    results[i].index = i;
+    results[i].scenario = job.scenario;
+    results[i].scheduler = job.scheduler;
+    results[i].seed = job.seed;
+    if (journal && policy_.resume) {
+      if (const SimReport* r = journal->restore(i, fingerprints[i])) {
+        results[i].report = *r;
+        results[i].from_journal = true;
+        completed[i] = 1;
+        ++stats_.restored;
+      }
+    }
+  }
+  if (stats_.restored > 0) {
+    std::fprintf(stderr, "resumed %zu/%zu cell(s) from journal %s\n",
+                 stats_.restored, total, journal->path().c_str());
+  }
 
   // Grid telemetry: ids are registered up front (registration must precede
   // the workers' first local_shard() call, which freezes the set); each
   // worker then publishes into its own shard with no cross-thread traffic.
+  // Attempt threads spawned by the watchdog never touch the registry —
+  // publication happens on the persistent worker after the attempt ends.
   telemetry::CounterId c_jobs, c_offered, c_delivered, c_dropped, c_busy_us;
+  telemetry::CounterId c_timeouts, c_retries, c_failures;
   if (metrics_ != nullptr) {
     c_jobs = metrics_->counter("exp.jobs_completed");
     c_offered = metrics_->counter("exp.packets_offered");
     c_delivered = metrics_->counter("exp.packets_delivered");
     c_dropped = metrics_->counter("exp.packets_dropped");
     c_busy_us = metrics_->counter("exp.worker_busy_us");
+    c_timeouts = metrics_->counter("exp.job_timeouts");
+    c_retries = metrics_->counter("exp.job_retries");
+    c_failures = metrics_->counter("exp.job_failures");
   }
 
-  std::vector<JobResult> results = parallel_index_map(
-      jobs_, total, [&](std::size_t i) -> JobResult {
-        const ExperimentJob& job = plan.jobs()[i];
-        JobResult out;
-        out.index = i;
-        out.scenario = job.scenario;
-        out.scheduler = job.scheduler;
-        out.seed = job.seed;
-        const auto j0 = std::chrono::steady_clock::now();
-        out.report = job.run();
-        out.wall_seconds = seconds_since(j0);
+  std::optional<JobWatchdog> watchdog;
+  if (policy_.job_timeout > 0) {
+    watchdog.emplace(std::chrono::nanoseconds(policy_.job_timeout));
+  }
+  SignalGuard signals(policy_.handle_signals);
+  auto stop_requested = [&] { return signals.signal() != 0; };
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{stats_.restored};
+  std::mutex stats_mutex;  // workers fold failure/retry tallies under this
+
+  auto run_cell = [&](std::size_t i) {
+    const ExperimentJob& job = plan.jobs()[i];
+    JobResult& out = results[i];
+    const auto j0 = std::chrono::steady_clock::now();
+    std::size_t cell_timeouts = 0;
+    std::size_t cell_retries = 0;
+    for (std::size_t attempt = 0;; ++attempt) {
+      const AttemptOutcome outcome = run_job_attempt(
+          with_chaos(job.run, policy_.chaos, fingerprints[i], attempt),
+          watchdog ? &*watchdog : nullptr);
+      out.error.reset();
+      if (outcome.ok) {
+        out.report = outcome.report;
         // Normalize labels so artifacts key on the plan's names even when a
         // scheduler self-reports differently (e.g. parameterized variants).
         out.report.scenario = job.scenario;
         out.report.scheduler = job.scheduler;
-        if (metrics_ != nullptr) {
-          telemetry::MetricsRegistry::Shard& shard = metrics_->local_shard();
-          shard.add(c_jobs);
-          shard.add(c_offered, out.report.offered);
-          shard.add(c_delivered, out.report.delivered);
-          shard.add(c_dropped, out.report.dropped);
-          shard.add(c_busy_us,
-                    static_cast<std::uint64_t>(out.wall_seconds * 1e6));
-        }
-        const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
-        std::fprintf(stderr, "[%zu/%zu] %s/%s seed=%llu (%.2fs)\n", n, total,
-                     job.scenario.c_str(), job.scheduler.c_str(),
-                     static_cast<unsigned long long>(job.seed),
-                     out.wall_seconds);
-        return out;
-      });
+        break;
+      }
+      bool transient = false;
+      if (outcome.timed_out) {
+        ++cell_timeouts;
+        transient = true;
+        out.error = JobError{"timeout",
+                             "watchdog cancelled the attempt" +
+                                 std::string(outcome.abandoned
+                                                 ? " (thread abandoned)"
+                                                 : ""),
+                             attempt + 1};
+      } else {
+        transient = is_transient(outcome.error);
+        out.error = JobError{"exception", error_message(outcome.error),
+                             attempt + 1};
+      }
+      if (!transient || attempt >= policy_.job_retries || stop_requested()) {
+        break;  // permanent failure for this cell; error stays engaged
+      }
+      // Exponential backoff, capped, interruptible by a stop signal.
+      ++cell_retries;
+      TimeNs delay = policy_.retry_backoff;
+      for (std::size_t d = 0; d < attempt && delay < 5 * kSecond; ++d) {
+        delay *= 2;
+      }
+      delay = std::min<TimeNs>(delay, 5 * kSecond);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::nanoseconds(delay);
+      while (std::chrono::steady_clock::now() < deadline &&
+             !stop_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    out.wall_seconds = seconds_since(j0);
+    completed[i] = 1;
+    if (out.ok() && journal) {
+      journal->record(i, fingerprints[i], out.report);
+    }
+    if (metrics_ != nullptr) {
+      telemetry::MetricsRegistry::Shard& shard = metrics_->local_shard();
+      if (out.ok()) {
+        shard.add(c_jobs);
+        shard.add(c_offered, out.report.offered);
+        shard.add(c_delivered, out.report.delivered);
+        shard.add(c_dropped, out.report.dropped);
+      } else {
+        shard.add(c_failures);
+      }
+      shard.add(c_busy_us, static_cast<std::uint64_t>(out.wall_seconds * 1e6));
+      if (cell_timeouts > 0) shard.add(c_timeouts, cell_timeouts);
+      if (cell_retries > 0) shard.add(c_retries, cell_retries);
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats_.jobs_timed_out += cell_timeouts;
+      stats_.retries += cell_retries;
+      if (!out.ok()) ++stats_.jobs_failed;
+    }
+    const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (out.ok()) {
+      std::fprintf(stderr, "[%zu/%zu] %s/%s seed=%llu (%.2fs)\n", n, total,
+                   job.scenario.c_str(), job.scheduler.c_str(),
+                   static_cast<unsigned long long>(job.seed),
+                   out.wall_seconds);
+    } else {
+      std::fprintf(stderr, "[%zu/%zu] %s/%s seed=%llu FAILED (%s: %s)\n", n,
+                   total, job.scenario.c_str(), job.scheduler.c_str(),
+                   static_cast<unsigned long long>(job.seed),
+                   out.error->kind.c_str(), out.error->message.c_str());
+    }
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      if (stop_requested()) break;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      if (completed[i]) continue;  // restored from the journal
+      run_cell(i);
+    }
+  };
+
+  if (stats_.jobs_used <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(stats_.jobs_used);
+    for (std::size_t w = 0; w < stats_.jobs_used; ++w) {
+      workers.emplace_back(worker);
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  stop_signal_ = signals.signal();
+  if (stop_signal_ != 0) {
+    // Mark the cells that never ran; their default reports must not be
+    // mistaken for results. Journaled cells keep their records — that is
+    // exactly what --resume continues from.
+    for (std::size_t i = 0; i < total; ++i) {
+      if (completed[i]) continue;
+      results[i].error = JobError{"interrupted",
+                                  "stopped by signal before this cell ran", 0};
+      ++stats_.interrupted;
+    }
+    std::fprintf(stderr,
+                 "stopped by signal %d: %zu cell(s) finished, %zu pending%s\n",
+                 stop_signal_, total - stats_.interrupted, stats_.interrupted,
+                 journal ? " (journaled; rerun with --resume to continue)"
+                         : "");
+  }
 
   stats_.wall_seconds = seconds_since(t0);
   for (const JobResult& r : results) stats_.job_seconds += r.wall_seconds;
-  if (total > 1) {
+  if (total > 1 && stop_signal_ == 0) {
     std::fprintf(stderr,
                  "ran %zu jobs on %zu thread(s): %.2fs wall, %.2fs cpu "
-                 "(speedup %.2fx)\n",
-                 total, stats_.jobs_used, stats_.wall_seconds,
-                 stats_.job_seconds, stats_.speedup());
+                 "(speedup %.2fx)%s\n",
+                 total - stats_.restored, stats_.jobs_used,
+                 stats_.wall_seconds, stats_.job_seconds, stats_.speedup(),
+                 stats_.jobs_failed > 0 ? " [FAILURES]" : "");
   }
   return results;
 }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <exception>
-#include <fstream>
 #include <optional>
 #include <stdexcept>
 
@@ -16,7 +15,9 @@
 #include "sim/report_json.h"
 #include "telemetry/export.h"
 #include "telemetry/probe.h"
+#include "util/crc.h"
 #include "util/duration.h"
+#include "util/fileio.h"
 #include "util/thread_pool.h"
 
 namespace laps {
@@ -117,7 +118,102 @@ HarnessOptions parse_harness_flags(Flags& flags) {
     // registry's errors name the offending token and list valid choices.
     opts.schedulers = parse_scheduler_list(opts.scheduler_list);
   }
+
+  const std::string timeout = flags.get_string("job-timeout", "");
+  if (!timeout.empty()) {
+    opts.job_timeout = util::parse_duration("--job-timeout", timeout);
+    if (opts.job_timeout <= 0) {
+      throw std::invalid_argument("--job-timeout must be > 0");
+    }
+  }
+  const std::int64_t retries = flags.get_int("job-retries", 0);
+  if (retries < 0) throw std::invalid_argument("--job-retries must be >= 0");
+  opts.job_retries = static_cast<std::size_t>(retries);
+  opts.journal_path = flags.get_string("journal", "");
+  opts.resume = flags.get_bool("resume", false);
+  if (opts.resume && opts.journal_path.empty()) {
+    throw std::invalid_argument("--resume requires --journal=PATH");
+  }
+  if (flags.has("runner-chaos")) {
+    opts.runner_chaos = true;
+    const std::string seed = flags.get_string("runner-chaos", "");
+    if (!seed.empty()) {
+      opts.runner_chaos_seed = static_cast<std::uint64_t>(
+          flags.get_int("runner-chaos", 0));
+    }
+  }
+  opts.runner_chaos_fail =
+      flags.get_double("runner-chaos-fail", opts.runner_chaos_fail);
+  opts.runner_chaos_hang =
+      flags.get_double("runner-chaos-hang", opts.runner_chaos_hang);
+  if (opts.runner_chaos_fail < 0 || opts.runner_chaos_fail > 1 ||
+      opts.runner_chaos_hang < 0 || opts.runner_chaos_hang > 1) {
+    throw std::invalid_argument(
+        "--runner-chaos-fail/--runner-chaos-hang must be in [0, 1]");
+  }
+  if (opts.runner_chaos && opts.runner_chaos_hang > 0 &&
+      opts.job_timeout <= 0) {
+    throw std::invalid_argument(
+        "--runner-chaos-hang requires --job-timeout (a hung attempt would "
+        "never be cancelled)");
+  }
   return opts;
+}
+
+ParallelRunner make_runner(const HarnessOptions& opts) {
+  RunnerPolicy policy;
+  policy.job_timeout = opts.job_timeout;
+  policy.job_retries = opts.job_retries;
+  policy.journal_path = opts.journal_path;
+  policy.resume = opts.resume;
+  // Salt the journal with every harness option that changes what a job
+  // computes: resuming under a different event queue or fault plan must
+  // invalidate the journal, not silently mix results.
+  auto fold = [](std::uint64_t h, const std::string& s) {
+    for (const char c : s) {
+      h = mix64(h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+    return mix64(h ^ s.size());
+  };
+  std::uint64_t salt = fold(0x1A95'0001, opts.faults_spec);
+  salt = fold(salt, opts.event_queue.has_value()
+                        ? std::to_string(static_cast<int>(*opts.event_queue))
+                        : std::string());
+  policy.journal_salt = salt;
+  policy.handle_signals = !opts.journal_path.empty();
+  if (opts.runner_chaos) {
+    policy.chaos.enabled = true;
+    policy.chaos.seed = opts.runner_chaos_seed;
+    policy.chaos.fail_prob = opts.runner_chaos_fail;
+    policy.chaos.hang_prob = opts.runner_chaos_hang;
+  }
+  return ParallelRunner(opts.jobs, std::move(policy));
+}
+
+int grid_abort_code(const ParallelRunner& runner) {
+  return runner.stop_signal() != 0 ? 128 + runner.stop_signal() : 0;
+}
+
+int grid_exit_code(const ParallelRunner& runner,
+                   const std::vector<JobResult>& results) {
+  std::size_t failed = 0;
+  for (const JobResult& r : results) {
+    if (r.ok()) continue;
+    ++failed;
+    std::fprintf(stderr,
+                 "FAILED cell %zu: %s/%s seed=%llu: %s: %s (%zu attempt%s)\n",
+                 r.index, r.scenario.c_str(), r.scheduler.c_str(),
+                 static_cast<unsigned long long>(r.seed), r.error->kind.c_str(),
+                 r.error->message.c_str(), r.error->attempts,
+                 r.error->attempts == 1 ? "" : "s");
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "%zu of %zu grid cell(s) failed\n", failed,
+                 results.size());
+    return 1;
+  }
+  (void)runner;
+  return 0;
 }
 
 std::vector<SchedulerSpec> schedulers_or(const HarnessOptions& opts,
@@ -337,6 +433,17 @@ std::string artifact_json(const std::string& tool,
     w.field("scenario", r.scenario);
     w.field("scheduler", r.scheduler);
     w.field("seed", r.seed);
+    // Failed cells carry their error instead of fake zeros masquerading as
+    // results; the field is absent on success, so fault-free artifacts are
+    // byte-identical to the pre-resilience format.
+    if (!r.ok()) {
+      w.key("error");
+      w.begin_object();
+      w.field("kind", r.error->kind);
+      w.field("message", r.error->message);
+      w.field("attempts", static_cast<std::uint64_t>(r.error->attempts));
+      w.end_object();
+    }
     w.key("report");
     write_report_json(w, r.report);
     w.end_object();
@@ -375,26 +482,7 @@ void write_json_artifact(const std::string& path, const std::string& tool,
                          const std::vector<ArtifactTable>& tables) {
   if (path.empty()) return;
   const std::string doc = artifact_json(tool, results, tables);
-  // Write-then-rename so a crash or full disk mid-write never leaves a
-  // truncated artifact where CI tooling expects a complete one.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("cannot open JSON artifact path: " + tmp);
-    }
-    out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      throw std::runtime_error("failed writing JSON artifact: " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("failed renaming JSON artifact into place: " +
-                             path);
-  }
+  util::write_file_atomic(path, doc, "JSON artifact");
   std::fprintf(stderr, "wrote JSON artifact: %s (%zu bytes)\n", path.c_str(),
                doc.size());
 }

@@ -54,6 +54,16 @@ struct HarnessOptions {
   /// Parsed --scheduler specs. Empty = the binary's built-in scheduler
   /// table; see schedulers_or().
   std::vector<SchedulerSpec> schedulers;
+  // Resilience (see exp/experiment.h RunnerPolicy, exp/journal.h,
+  // exp/watchdog.h).
+  TimeNs job_timeout = 0;        ///< per-attempt watchdog budget; 0 = off
+  std::size_t job_retries = 0;   ///< extra attempts for transient failures
+  std::string journal_path;      ///< completion journal; empty = none
+  bool resume = false;           ///< replay journaled cells (--resume)
+  bool runner_chaos = false;     ///< --runner-chaos given
+  std::uint64_t runner_chaos_seed = 0;
+  double runner_chaos_fail = 0.05;  ///< P(attempt throws TransientError)
+  double runner_chaos_hang = 0.0;   ///< P(attempt hangs until watchdog)
 };
 
 /// Consumes the flags every experiment binary shares:
@@ -93,8 +103,43 @@ struct HarnessOptions {
 ///                             replacing the binary's built-in table; an
 ///                             unknown name or parameter fails fast listing
 ///                             the valid ones (exp/scheduler_registry.h)
+///   --job-timeout=D           per-attempt watchdog budget (parse_duration:
+///                             "30s", "500ms"); a cell whose attempt exceeds
+///                             it is cancelled (and retried if budget left)
+///   --job-retries=N           extra attempts for transient failures
+///                             (TransientError or watchdog timeouts)
+///   --journal=P               durable completion journal: one fsync'd
+///                             record per finished cell, so an interrupted
+///                             grid (SIGINT/SIGTERM/SIGKILL) can continue
+///   --resume                  with --journal: replay already-journaled
+///                             cells; final artifacts are byte-identical to
+///                             an uninterrupted run
+///   --runner-chaos[=SEED]     seeded fault injection against the runner
+///                             itself (random transient throws/hangs per
+///                             attempt) — soaks the resilience machinery
+///   --runner-chaos-fail=P     chaos: P(attempt throws) (default 0.05)
+///   --runner-chaos-hang=P     chaos: P(attempt hangs until the watchdog
+///                             fires); requires --job-timeout
 /// Call before flags.finish().
 HarnessOptions parse_harness_flags(Flags& flags);
+
+/// Builds the runner for a harness-configured grid: worker count from
+/// --jobs plus a RunnerPolicy carrying the watchdog/retry/journal/chaos
+/// flags. The journal salt hashes every option that changes job output
+/// (event-queue override, fault spec) so a journal recorded under different
+/// options refuses to resume. Signal handling is enabled exactly when a
+/// journal is configured.
+ParallelRunner make_runner(const HarnessOptions& opts);
+
+/// Nonzero (128 + signal) when the previous run() was stopped by a handled
+/// signal — the main should write no tables/artifacts and exit with this.
+int grid_abort_code(const ParallelRunner& runner);
+
+/// Final exit code for a completed grid: 0 when every cell succeeded, 1
+/// otherwise — after printing one stderr line per failed cell (scenario,
+/// scheduler, seed, error kind, message, attempts).
+int grid_exit_code(const ParallelRunner& runner,
+                   const std::vector<JobResult>& results);
 
 /// The schedulers a grid should run: the --scheduler specs when given,
 /// otherwise the binary's built-in `defaults` table. Every bench/example

@@ -48,13 +48,20 @@ SharedTraceBacking::Fetch SharedTraceBacking::fetch(std::size_t index,
   // Re-check under the lock: another thread may have materialized past us.
   while (index >= committed_.load(std::memory_order_relaxed)) {
     if (index >= end_at_.load(std::memory_order_relaxed)) return Fetch::kEnd;
+    if (error_) std::rethrow_exception(error_);
     const std::size_t pos = committed_.load(std::memory_order_relaxed);
     auto& slot = chunks_[pos / kChunk];
     if (!slot) {
       slot = std::make_unique<std::vector<PacketRecord>>();
       slot->reserve(kChunk);
     }
-    auto rec = source_->next();
+    std::optional<PacketRecord> rec;
+    try {
+      rec = source_->next();
+    } catch (...) {
+      error_ = std::current_exception();
+      std::rethrow_exception(error_);
+    }
     if (!rec) {
       end_at_.store(pos, std::memory_order_release);
       return Fetch::kEnd;

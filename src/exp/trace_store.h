@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -43,6 +44,13 @@ class SharedTraceBacking {
   /// Fetches record `index`, materializing up to it if necessary.
   /// Thread-safe; the record sequence is independent of caller interleaving
   /// because extension is serialized and append-only.
+  ///
+  /// If the underlying source ever throws (e.g. PcapError from a capture
+  /// truncated mid-run), the error is STICKY: every later fetch that needs
+  /// unmaterialized records rethrows the same exception instead of retrying
+  /// the source — a second read of a dead FILE* reports 0 bytes, which
+  /// would otherwise launder file corruption into a clean end-of-trace.
+  /// Records published before the error stay readable.
   Fetch fetch(std::size_t index, PacketRecord& out);
 
   /// Fresh private instance of the underlying source (for cursor overflow).
@@ -78,6 +86,7 @@ class SharedTraceBacking {
   std::vector<std::unique_ptr<std::vector<PacketRecord>>> chunks_;
   std::atomic<std::size_t> committed_{0};
   std::atomic<std::size_t> end_at_{SIZE_MAX};  // EOF position, if ever hit
+  std::exception_ptr error_;                   // sticky source error (guarded)
 
   std::string name_;
   std::size_t flow_count_hint_ = 0;

@@ -1,0 +1,178 @@
+#include "exp/watchdog.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace laps {
+
+namespace {
+
+/// The active attempt's cancellation flag, visible to everything running
+/// beneath the job body on this thread. Null outside an attempt.
+thread_local const std::atomic<bool>* t_cancel_flag = nullptr;
+
+}  // namespace
+
+JobWatchdog::CancelScope::CancelScope(const std::atomic<bool>* flag)
+    : previous_(t_cancel_flag) {
+  t_cancel_flag = flag;
+}
+
+JobWatchdog::CancelScope::~CancelScope() { t_cancel_flag = previous_; }
+
+void JobWatchdog::check_cancelled() {
+  if (t_cancel_flag != nullptr &&
+      t_cancel_flag->load(std::memory_order_relaxed)) {
+    throw JobCancelled();
+  }
+}
+
+JobWatchdog::JobWatchdog(std::chrono::nanoseconds timeout)
+    : timeout_(timeout) {
+  if (timeout <= std::chrono::nanoseconds::zero()) {
+    throw std::invalid_argument("JobWatchdog: timeout must be positive");
+  }
+  // Scan at timeout/8 so overshoot stays near 12%, clamped into [1ms,
+  // 250ms] so tiny timeouts don't spin and huge ones still shut down fast.
+  const auto eighth =
+      std::chrono::duration_cast<std::chrono::milliseconds>(timeout / 8);
+  scan_period_ = std::clamp(eighth, std::chrono::milliseconds(1),
+                            std::chrono::milliseconds(250));
+  monitor_ = std::thread([this] { monitor(); });
+}
+
+JobWatchdog::~JobWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+std::shared_ptr<JobWatchdog::Ticket> JobWatchdog::watch() {
+  auto ticket = std::make_shared<Ticket>();
+  ticket->deadline = std::chrono::steady_clock::now() + timeout_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tickets_.push_back(ticket);
+  }
+  cv_.notify_all();
+  return ticket;
+}
+
+void JobWatchdog::release(const std::shared_ptr<Ticket>& ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tickets_.erase(std::remove(tickets_.begin(), tickets_.end(), ticket),
+                 tickets_.end());
+}
+
+void JobWatchdog::monitor() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const std::shared_ptr<Ticket>& ticket : tickets_) {
+      if (now >= ticket->deadline &&
+          !ticket->cancelled.load(std::memory_order_relaxed)) {
+        ticket->cancelled.store(true, std::memory_order_relaxed);
+        // Wake the worker blocked in run_job_attempt; lock order is safe
+        // because workers never hold the watchdog mutex while waiting.
+        std::lock_guard<std::mutex> ticket_lock(ticket->mutex);
+        ticket->cv.notify_all();
+      }
+    }
+    cv_.wait_for(lock, scan_period_);
+  }
+}
+
+AttemptOutcome run_job_attempt(const std::function<SimReport()>& job,
+                               JobWatchdog* watchdog) {
+  AttemptOutcome out;
+  if (watchdog == nullptr) {
+    try {
+      out.report = job();
+      out.ok = true;
+    } catch (const JobCancelled&) {
+      out.timed_out = true;  // a stale flag from an enclosing scope
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+    return out;
+  }
+
+  // Everything the attempt thread touches after detachment must be owned by
+  // this shared state (including its own copy of the job closure): an
+  // abandoned thread may wake long after the worker has moved on to the
+  // next grid cell, or even after run() returned.
+  struct Shared {
+    std::shared_ptr<JobWatchdog::Ticket> ticket;
+    std::function<SimReport()> job;
+    SimReport report;
+    std::exception_ptr error;
+    bool cancelled_seen = false;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->ticket = watchdog->watch();
+  shared->job = job;
+
+  std::thread attempt([shared] {
+    JobWatchdog::CancelScope scope(&shared->ticket->cancelled);
+    SimReport report;
+    std::exception_ptr error;
+    bool cancelled = false;
+    try {
+      report = shared->job();
+    } catch (const JobCancelled&) {
+      cancelled = true;
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(shared->ticket->mutex);
+    shared->report = std::move(report);
+    shared->error = error;
+    shared->cancelled_seen = cancelled;
+    shared->ticket->finished = true;
+    shared->ticket->cv.notify_all();
+  });
+
+  JobWatchdog::Ticket& ticket = *shared->ticket;
+  bool finished = false;
+  {
+    std::unique_lock<std::mutex> lock(ticket.mutex);
+    ticket.cv.wait(lock, [&] {
+      return ticket.finished || ticket.cancelled.load(std::memory_order_relaxed);
+    });
+    if (!ticket.finished) {
+      // Cancelled: grant one timeout's worth of grace for a cooperative
+      // unwind (or for a result that was milliseconds away).
+      ticket.cv.wait_for(lock, watchdog->timeout(),
+                         [&] { return ticket.finished; });
+    }
+    finished = ticket.finished;
+  }
+  watchdog->release(shared->ticket);
+
+  if (!finished) {
+    // Runaway job: abandon the thread. `shared` keeps the closure and the
+    // result slots alive for whenever (if ever) it completes.
+    attempt.detach();
+    out.timed_out = true;
+    out.abandoned = true;
+    return out;
+  }
+  attempt.join();
+  if (shared->cancelled_seen) {
+    out.timed_out = true;
+  } else if (shared->error != nullptr) {
+    out.error = shared->error;
+  } else {
+    // Includes finishes inside the grace window after a cancellation: the
+    // result is complete and — by the determinism contract — identical to
+    // an un-delayed run's, so take it rather than discard finished work.
+    out.ok = true;
+    out.report = std::move(shared->report);
+  }
+  return out;
+}
+
+}  // namespace laps

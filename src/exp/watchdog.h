@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/report.h"
+#include "util/time.h"
+
+namespace laps {
+
+/// A failure the runner should retry: the job itself believes a rerun can
+/// succeed (injected chaos faults, resource exhaustion that may clear).
+/// Anything else thrown by a job is contained but fails the cell
+/// immediately — retrying a deterministic bug wastes the grid's time.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown out of a job that observed its watchdog cancellation flag (via
+/// JobWatchdog::check_cancelled). Counted as a timeout, not an error type
+/// of its own: cooperative and abandoned cancellations must classify the
+/// same way or retry behavior would depend on how politely a job dies.
+class JobCancelled : public std::runtime_error {
+ public:
+  JobCancelled() : std::runtime_error("job cancelled by watchdog") {}
+};
+
+/// Watchdog for grid job attempts. Each attempt registers a ticket carrying
+/// its deadline; a single monitor thread scans tickets and, past the
+/// deadline, sets the ticket's cancellation flag and wakes the waiting
+/// worker. Cancellation is cooperative-first: the attempt thread sees the
+/// flag through check_cancelled() (wired into the chaos hang injector, and
+/// available to any job body) and unwinds with JobCancelled. Attempts that
+/// never poll are *abandoned* after a grace period — the worker detaches
+/// the attempt thread and moves on; the attempt's closure and result slots
+/// are shared_ptr-owned so the zombie's eventual writes land in memory
+/// nothing else reads.
+class JobWatchdog {
+ public:
+  struct Ticket {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool finished = false;  ///< attempt ran to completion (ok or thrown)
+    std::atomic<bool> cancelled{false};
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  /// `timeout` is the per-attempt wall-clock budget; must be positive.
+  explicit JobWatchdog(std::chrono::nanoseconds timeout);
+  ~JobWatchdog();
+
+  JobWatchdog(const JobWatchdog&) = delete;
+  JobWatchdog& operator=(const JobWatchdog&) = delete;
+
+  /// Registers a new attempt starting now. The returned ticket stays valid
+  /// until release()d.
+  std::shared_ptr<Ticket> watch();
+
+  /// Unregisters a ticket (attempt finished, or was abandoned).
+  void release(const std::shared_ptr<Ticket>& ticket);
+
+  std::chrono::nanoseconds timeout() const { return timeout_; }
+
+  /// Throws JobCancelled if the calling thread's current attempt has been
+  /// cancelled. No-op on threads without an active attempt, so probes and
+  /// scenario code may call it unconditionally.
+  static void check_cancelled();
+
+  /// RAII binding of a ticket's cancellation flag to the calling (attempt)
+  /// thread, making check_cancelled() work from anywhere beneath the job.
+  class CancelScope {
+   public:
+    explicit CancelScope(const std::atomic<bool>* flag);
+    ~CancelScope();
+
+   private:
+    const std::atomic<bool>* previous_;
+  };
+
+ private:
+  void monitor();
+
+  std::chrono::nanoseconds timeout_;
+  std::chrono::milliseconds scan_period_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::vector<std::shared_ptr<Ticket>> tickets_;
+  std::thread monitor_;
+};
+
+/// Outcome of one watched attempt.
+struct AttemptOutcome {
+  bool ok = false;
+  bool timed_out = false;          ///< watchdog fired (cooperative or not)
+  bool abandoned = false;          ///< attempt thread was detached
+  std::exception_ptr error;        ///< set when the job threw (not timeout)
+  SimReport report;                ///< valid only when ok
+};
+
+/// Runs `job` once under `watchdog` (null = no timeout, run inline). With a
+/// watchdog, the job runs on its own thread; if the deadline passes, the
+/// cancellation flag is raised and the worker waits one more scan period of
+/// grace for a cooperative unwind before detaching the thread. A job that
+/// finishes within the grace window still counts as a success — the work is
+/// done; killing it on a technicality would waste it.
+AttemptOutcome run_job_attempt(const std::function<SimReport()>& job,
+                               JobWatchdog* watchdog);
+
+}  // namespace laps

@@ -1,10 +1,10 @@
 #include "sim/afd_accuracy.h"
 
 #include <algorithm>
-#include <fstream>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/fileio.h"
 #include "util/json_writer.h"
 
 namespace laps {
@@ -124,17 +124,7 @@ std::string AfdAccuracyProbe::to_json() const {
 }
 
 void AfdAccuracyProbe::write(const std::string& path) const {
-  const std::string doc = to_json();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("cannot open afd-accuracy artifact path: " +
-                             path);
-  }
-  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("failed writing afd-accuracy artifact: " + path);
-  }
+  util::write_file_atomic(path, to_json(), "afd-accuracy artifact");
 }
 
 }  // namespace laps

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <stdexcept>
 
+#include "util/fileio.h"
 #include "util/json_writer.h"
 #include "util/rng.h"
 
@@ -609,16 +609,7 @@ std::string FaultProbe::to_json() const {
 }
 
 void FaultProbe::write(const std::string& path) const {
-  const std::string doc = to_json();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("cannot open fault timeline path: " + path);
-  }
-  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("failed writing fault timeline: " + path);
-  }
+  util::write_file_atomic(path, to_json(), "fault timeline");
 }
 
 }  // namespace laps

@@ -1,9 +1,9 @@
 #include "sim/flight_recorder.h"
 
-#include <fstream>
 #include <stdexcept>
 
 #include "traffic/workload.h"
+#include "util/fileio.h"
 #include "util/json_writer.h"
 
 namespace laps {
@@ -229,17 +229,7 @@ std::string FlightRecorderProbe::to_json() const {
 }
 
 void FlightRecorderProbe::write(const std::string& path) const {
-  const std::string doc = to_json();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("cannot open flight-recorder dump path: " +
-                             path);
-  }
-  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("failed writing flight-recorder dump: " + path);
-  }
+  util::write_file_atomic(path, to_json(), "flight-recorder dump");
 }
 
 }  // namespace laps

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <bit>
-#include <fstream>
 #include <limits>
 #include <stdexcept>
 
+#include "util/fileio.h"
 #include "util/json_writer.h"
 
 namespace laps {
@@ -459,16 +459,7 @@ std::string FlowAuditProbe::to_json() const {
 }
 
 void FlowAuditProbe::write(const std::string& path) const {
-  const std::string doc = to_json();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("cannot open flow-audit artifact path: " + path);
-  }
-  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("failed writing flow-audit artifact: " + path);
-  }
+  util::write_file_atomic(path, to_json(), "flow-audit artifact");
 }
 
 }  // namespace laps

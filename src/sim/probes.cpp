@@ -1,9 +1,9 @@
 #include "sim/probes.h"
 
-#include <fstream>
 #include <stdexcept>
 
 #include "traffic/workload.h"
+#include "util/fileio.h"
 #include "util/json_writer.h"
 
 namespace laps {
@@ -12,17 +12,7 @@ namespace {
 
 void write_file(const std::string& path, const std::string& doc,
                 const char* what) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error(std::string("cannot open ") + what + " path: " +
-                             path);
-  }
-  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-  out.flush();
-  if (!out) {
-    throw std::runtime_error(std::string("failed writing ") + what + ": " +
-                             path);
-  }
+  util::write_file_atomic(path, doc, what);
 }
 
 }  // namespace

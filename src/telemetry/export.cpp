@@ -1,39 +1,13 @@
 #include "telemetry/export.h"
 
-#include <cstdio>
 #include <functional>
 #include <stdexcept>
 
+#include "util/fileio.h"
 #include "util/json_writer.h"
 
 namespace laps::telemetry {
 namespace {
-
-/// tmp+rename, same discipline as the harness artifact writer: a crashed
-/// or interrupted run leaves either the old file or the new one, never a
-/// truncated hybrid.
-void write_file_atomic(const std::string& path, const std::string& content,
-                       const char* what) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    throw std::runtime_error(std::string("failed to open ") + what +
-                             " temp file '" + tmp + "' for writing");
-  }
-  const std::size_t written =
-      std::fwrite(content.data(), 1, content.size(), f);
-  const bool ok = written == content.size() && std::fclose(f) == 0;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error(std::string("failed to write ") + what + " to '" +
-                             tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error(std::string("failed to rename ") + what +
-                             " into place at '" + path + "'");
-  }
-}
 
 void append_section(std::string& out, const char* key,
                     const std::vector<std::string>& names, std::size_t count,
@@ -95,7 +69,7 @@ void write_telemetry_jsonl(const std::string& path, TelemetryProbe& probe) {
           std::to_string(probe.ring().dropped()) + "}";
   out += last;
   out += "\n";
-  write_file_atomic(path, out, "telemetry JSONL");
+  util::write_file_atomic(path, out, "telemetry JSONL");
 }
 
 std::string prometheus_escape(const std::string& value) {
@@ -182,7 +156,7 @@ std::string prometheus_text(const TelemetryProbe& probe) {
 
 void write_telemetry_prometheus(const std::string& path,
                                 const TelemetryProbe& probe) {
-  write_file_atomic(path, prometheus_text(probe), "telemetry exposition");
+  util::write_file_atomic(path, prometheus_text(probe), "telemetry exposition");
 }
 
 }  // namespace laps::telemetry

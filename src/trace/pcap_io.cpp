@@ -28,10 +28,13 @@ PcapReader::PcapReader(const std::string& path) : path_(path) {
   if (!file_) throw PcapError("PcapReader: cannot open " + path);
 
   std::uint8_t hdr[24];
-  if (std::fread(hdr, 1, sizeof hdr, file_) != sizeof hdr) {
+  const std::size_t hdr_got = std::fread(hdr, 1, sizeof hdr, file_);
+  if (hdr_got != sizeof hdr) {
     std::fclose(file_);
     file_ = nullptr;
-    throw PcapError("PcapReader: truncated global header in " + path);
+    throw PcapError(path, hdr_got,
+                    "truncated global header (" + std::to_string(hdr_got) +
+                        " of 24 bytes)");
   }
   std::uint32_t magic;
   std::memcpy(&magic, hdr, 4);
@@ -43,15 +46,17 @@ PcapReader::PcapReader(const std::string& path) : path_(path) {
     default:
       std::fclose(file_);
       file_ = nullptr;
-      throw PcapError("PcapReader: bad magic in " + path);
+      throw PcapError(path, 0, "bad magic (not a pcap file)");
   }
   link_type_ = read_u32(hdr + 20);
   snaplen_ = read_u32(hdr + 16);
   if (link_type_ != kLinkEthernet && link_type_ != kLinkRawIp) {
     std::fclose(file_);
     file_ = nullptr;
-    throw PcapError("PcapReader: unsupported link type in " + path);
+    throw PcapError(path, 20,
+                    "unsupported link type " + std::to_string(link_type_));
   }
+  offset_ = sizeof hdr;
 }
 
 PcapReader::~PcapReader() {
@@ -79,7 +84,12 @@ std::optional<PcapPacket> PcapReader::next() {
     const std::size_t got = std::fread(rec_hdr, 1, sizeof rec_hdr, file_);
     if (got == 0) return std::nullopt;  // clean EOF
     if (got != sizeof rec_hdr) {
-      throw PcapError("PcapReader: truncated record header in " + path_);
+      // Offsets point at the start of the bad record, where a repair tool
+      // would truncate the capture.
+      throw PcapError(path_, offset_,
+                      "truncated record header (" + std::to_string(got) +
+                          " of 16 bytes, packet " +
+                          std::to_string(parsed_ + skipped_) + ")");
     }
     const std::uint32_t ts_sec = read_u32(rec_hdr);
     const std::uint32_t ts_frac = read_u32(rec_hdr + 4);
@@ -94,13 +104,23 @@ std::optional<PcapPacket> PcapReader::next() {
     const std::uint64_t bound =
         std::min<std::uint64_t>(snaplen_, kMaxSnaplen) + 65536u;
     if (incl_len > bound) {
-      throw PcapError("PcapReader: implausible record length in " + path_);
+      throw PcapError(path_, offset_,
+                      "implausible record length " +
+                          std::to_string(incl_len) + " (bound " +
+                          std::to_string(bound) + ")");
     }
     data.resize(incl_len);
-    if (incl_len > 0 &&
-        std::fread(data.data(), 1, incl_len, file_) != incl_len) {
-      throw PcapError("PcapReader: truncated record body in " + path_);
+    if (incl_len > 0) {
+      const std::size_t body = std::fread(data.data(), 1, incl_len, file_);
+      if (body != incl_len) {
+        throw PcapError(path_, offset_,
+                        "truncated record body (" + std::to_string(body) +
+                            " of " + std::to_string(incl_len) +
+                            " bytes, packet " +
+                            std::to_string(parsed_ + skipped_) + ")");
+      }
     }
+    offset_ += sizeof rec_hdr + incl_len;
 
     // Locate the IPv4 header.
     std::size_t ip_off = 0;

@@ -27,10 +27,37 @@ namespace laps {
 /// implausible lengths, bad magic, I/O failures). Derives from
 /// std::runtime_error so existing catch sites keep working, while callers
 /// feeding untrusted captures can distinguish hostile input from other
-/// failures. Messages always name the offending file.
+/// failures. Reader errors carry structured fields — the file, the byte
+/// offset where parsing stopped, and the reason — so a capture truncated
+/// mid-run (the classic interrupted-tcpdump artifact) is reported as
+/// "<file> at byte N: truncated record body", not a vague parse failure.
 class PcapError : public std::runtime_error {
  public:
-  explicit PcapError(const std::string& what) : std::runtime_error(what) {}
+  /// Message-only form (writer-side and open failures with no offset).
+  explicit PcapError(const std::string& what)
+      : std::runtime_error(what), reason_(what) {}
+
+  /// Located form: `path` + byte `offset` + `reason`.
+  PcapError(const std::string& path, std::uint64_t offset,
+            const std::string& reason)
+      : std::runtime_error("PcapReader: " + path + " at byte " +
+                           std::to_string(offset) + ": " + reason),
+        path_(path),
+        offset_(offset),
+        reason_(reason),
+        has_location_(true) {}
+
+  const std::string& path() const { return path_; }
+  std::uint64_t offset() const { return offset_; }
+  const std::string& reason() const { return reason_; }
+  /// True for reader errors that know where in the file they stopped.
+  bool has_location() const { return has_location_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;
+  std::string reason_;
+  bool has_location_ = false;
 };
 
 /// One on-disk packet with its capture timestamp, produced by PcapReader.
@@ -63,6 +90,9 @@ class PcapReader {
   std::uint32_t link_type() const { return link_type_; }
   /// True if timestamps are nanosecond-resolution.
   bool nanosecond_ts() const { return nanos_; }
+  /// Byte offset of the next unread record header (24 right after the
+  /// global header). PcapError offsets come from here.
+  std::uint64_t offset() const { return offset_; }
 
  private:
   std::uint32_t read_u32(const std::uint8_t* p) const;
@@ -74,6 +104,7 @@ class PcapReader {
   bool nanos_ = false;   // nanosecond timestamp variant
   std::uint32_t link_type_ = 1;
   std::uint32_t snaplen_ = 65535;
+  std::uint64_t offset_ = 0;  // bytes consumed; next record starts here
   std::uint64_t parsed_ = 0;
   std::uint64_t skipped_ = 0;
   std::unordered_map<FiveTuple, std::uint32_t, FiveTupleHash> flow_ids_;

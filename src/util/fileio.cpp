@@ -1,0 +1,113 @@
+#include "util/fileio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace laps::util {
+
+namespace {
+
+std::string format_io_error(const std::string& what_kind,
+                            const std::string& path,
+                            const std::string& operation, int saved_errno) {
+  std::string msg = what_kind + ": " + path + ": " + operation + " failed";
+  if (saved_errno != 0) {
+    msg += ": ";
+    msg += std::strerror(saved_errno);
+  }
+  return msg;
+}
+
+/// Fsyncs the directory containing `path` so a just-renamed entry is
+/// durable. Best-effort: some filesystems refuse directory fsync; that is
+/// not worth failing a run over once the data itself is synced.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+IoError::IoError(const std::string& what_kind, const std::string& path,
+                 const std::string& operation, int saved_errno)
+    : std::runtime_error(
+          format_io_error(what_kind, path, operation, saved_errno)),
+      path_(path),
+      operation_(operation),
+      errno_(saved_errno) {}
+
+void write_file_atomic(const std::string& path, const std::string& content,
+                       const char* what_kind, bool durable) {
+  // The temp name carries pid + a process-wide counter so two writers
+  // racing on the same destination (e.g. an abandoned watchdog-timed-out
+  // job finishing late while its retry rewrites the same artifact) never
+  // share a temp file; both renames land whole files with — by the grid
+  // determinism contract — identical bytes.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(seq.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw IoError(what_kind, tmp, "open", errno);
+  }
+  if (std::fwrite(content.data(), 1, content.size(), f) != content.size()) {
+    const int saved = errno;
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    throw IoError(what_kind, tmp, "write", saved);
+  }
+  if (std::fflush(f) != 0) {
+    const int saved = errno;
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    throw IoError(what_kind, tmp, "flush", saved);
+  }
+  if (durable && ::fsync(::fileno(f)) != 0) {
+    const int saved = errno;
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    throw IoError(what_kind, tmp, "fsync", saved);
+  }
+  if (std::fclose(f) != 0) {
+    const int saved = errno;
+    std::remove(tmp.c_str());
+    throw IoError(what_kind, tmp, "close", saved);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    std::remove(tmp.c_str());
+    throw IoError(what_kind, path, "rename", saved);
+  }
+  if (durable) sync_parent_dir(path);
+}
+
+bool read_file_if_exists(const std::string& path, std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return false;
+    throw IoError("file", path, "open", errno);
+  }
+  content.clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  const int saved = errno;
+  std::fclose(f);
+  if (failed) throw IoError("file", path, "read", saved);
+  return true;
+}
+
+}  // namespace laps::util

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <stdexcept>
 
 namespace laps {
 
@@ -69,6 +70,37 @@ std::vector<Histogram::Bucket> Histogram::buckets() const {
     if (buckets_[i] != 0) out.push_back({bucket_upper_bound(i), buckets_[i]});
   }
   return out;
+}
+
+Histogram Histogram::restore(const std::vector<Bucket>& occupied,
+                             std::uint64_t count, std::int64_t sum,
+                             std::int64_t max) {
+  Histogram h;
+  std::uint64_t total = 0;
+  for (const Bucket& b : occupied) {
+    const std::size_t idx = bucket_index(b.upper_bound);
+    if (idx >= h.buckets_.size() || bucket_upper_bound(idx) != b.upper_bound) {
+      throw std::invalid_argument(
+          "Histogram::restore: unknown bucket bound " +
+          std::to_string(b.upper_bound));
+    }
+    if (b.count == 0 || h.buckets_[idx] != 0) {
+      throw std::invalid_argument(
+          "Histogram::restore: invalid bucket export at bound " +
+          std::to_string(b.upper_bound));
+    }
+    h.buckets_[idx] = b.count;
+    total += b.count;
+  }
+  if (total != count) {
+    throw std::invalid_argument("Histogram::restore: bucket counts sum to " +
+                                std::to_string(total) + ", expected " +
+                                std::to_string(count));
+  }
+  h.count_ = count;
+  h.sum_ = sum;
+  h.max_ = max;
+  return h;
 }
 
 void Histogram::merge(const Histogram& other) {

@@ -50,6 +50,18 @@ class Histogram {
   /// Merges another histogram into this one.
   void merge(const Histogram& other);
 
+  /// Rebuilds a histogram from its exported exact state — the occupied
+  /// `buckets()` plus `count`/`sum`/`max`. Because every bucket upper bound
+  /// maps back to its own index (`bucket_index(bucket_upper_bound(i)) == i`),
+  /// `restore(h.buckets(), h.count(), h.sum(), h.max())` reproduces `h`
+  /// exactly: identical buckets, quantiles, and summary bytes. This is what
+  /// lets the experiment journal round-trip a SimReport bit-identically.
+  /// Throws std::invalid_argument if the bucket list is not a valid export
+  /// (unknown bound, duplicate, zero count, or count mismatch).
+  static Histogram restore(const std::vector<Bucket>& occupied,
+                           std::uint64_t count, std::int64_t sum,
+                           std::int64_t max);
+
   /// Resets to empty.
   void clear();
 

@@ -305,13 +305,29 @@ TEST(ParallelRunner, ResultsInPlanOrderWithPlanLabels) {
   }
 }
 
-TEST(ParallelRunner, JobExceptionSurfacesToCaller) {
+// Containment contract: a throwing job fails its own cell — captured as a
+// structured JobError — and never propagates out of run() or disturbs the
+// rest of the grid.
+TEST(ParallelRunner, JobExceptionIsContainedAsJobError) {
   ExperimentPlan plan;
   plan.add("boom", "X", 0, []() -> SimReport {
     throw std::runtime_error("job exploded");
   });
+  plan.add("fine", "X", 1, []() -> SimReport {
+    SimReport r;
+    r.offered = 7;
+    return r;
+  });
   ParallelRunner runner(2);
-  EXPECT_THROW(runner.run(plan), std::runtime_error);
+  const auto results = runner.run(plan);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_FALSE(results[0].ok());
+  EXPECT_EQ(results[0].error->kind, "exception");
+  EXPECT_EQ(results[0].error->message, "job exploded");
+  EXPECT_EQ(results[0].error->attempts, 1u);
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_EQ(results[1].report.offered, 7u);
+  EXPECT_EQ(runner.stats().jobs_failed, 1u);
 }
 
 // The tentpole contract: identical artifacts whatever --jobs is. Each run

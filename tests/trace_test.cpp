@@ -10,9 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "exp/trace_store.h"
 #include "trace/flow_stats.h"
 #include "trace/pcap_io.h"
 #include "trace/synthetic.h"
+#include "traffic/generator.h"
 
 namespace laps {
 namespace {
@@ -475,6 +477,163 @@ TEST(Pcap, SkipsNonIpPackets) {
   EXPECT_FALSE(reader.next().has_value());
   EXPECT_EQ(reader.skipped(), 1u);
   std::filesystem::remove(path);
+}
+
+// The classic interrupted-tcpdump artifact: a capture that is valid up to
+// some record, then stops mid-record. The error must carry the file, the
+// byte offset of the bad record, and a human reason — and it must stay an
+// error when the trace is replayed through the sharing layer, not decay
+// into a clean (shorter!) end-of-trace.
+
+TEST(PcapHostile, TruncationErrorCarriesFileOffsetReason) {
+  const std::string path = temp_pcap_path("typed_trunc");
+  auto bytes = global_header();
+  append_u32s(bytes, {1, 0, 100, 100});  // claims 100 bytes of data
+  bytes.push_back(0x45);                 // delivers 1
+  write_bytes(path, bytes);
+  PcapReader reader(path);
+  try {
+    reader.next();
+    FAIL() << "truncated body did not throw";
+  } catch (const PcapError& e) {
+    EXPECT_TRUE(e.has_location());
+    EXPECT_EQ(e.path(), path);
+    EXPECT_EQ(e.offset(), 24u);  // the bad record starts after the header
+    EXPECT_NE(e.reason().find("truncated record body"), std::string::npos)
+        << e.reason();
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("at byte 24"), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PcapHostile, ErrorOffsetPointsAtTheBadRecordNotTheFileStart) {
+  const std::string path = temp_pcap_path("typed_offset");
+  auto bytes = global_header();
+  // Good record: 14-byte ARP frame (skipped, but consumed cleanly).
+  append_u32s(bytes, {1, 0, 14, 14});
+  const std::uint8_t arp[14] = {0, 0, 0, 0, 0, 0, 0,
+                                0, 0, 0, 0, 0, 0x08, 0x06};
+  bytes.insert(bytes.end(), arp, arp + 14);
+  // Bad record: only 8 of the 16 header bytes.
+  append_u32s(bytes, {2, 0});
+  write_bytes(path, bytes);
+  PcapReader reader(path);
+  try {
+    reader.next();
+    FAIL() << "truncated header did not throw";
+  } catch (const PcapError& e) {
+    EXPECT_TRUE(e.has_location());
+    EXPECT_EQ(e.offset(), 24u + 16u + 14u);  // global hdr + record 1
+    EXPECT_NE(e.reason().find("truncated record header"), std::string::npos)
+        << e.reason();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PcapHostile, MessageOnlyErrorsReportNoLocation) {
+  try {
+    PcapReader reader("/nonexistent/file.pcap");
+    FAIL() << "missing file did not throw";
+  } catch (const PcapError& e) {
+    EXPECT_FALSE(e.has_location());
+  }
+}
+
+/// Yields `good` synthetic records, then throws PcapError forever — the
+/// in-memory shape of a capture truncated mid-run.
+class TruncatedSource final : public TraceSource {
+ public:
+  TruncatedSource(std::size_t good, std::string path)
+      : good_(good), path_(std::move(path)), trace_(SyntheticTraceSpec{}) {}
+
+  std::optional<PacketRecord> next() override {
+    if (emitted_ >= good_) {
+      throw PcapError(path_, 24 + 30 * good_, "truncated record body");
+    }
+    ++emitted_;
+    return trace_.next();
+  }
+  void reset() override { throw std::logic_error("not resettable"); }
+  std::string name() const override { return path_; }
+
+ private:
+  std::size_t good_;
+  std::size_t emitted_ = 0;
+  std::string path_;
+  SyntheticTrace trace_;
+};
+
+TEST(TraceStore, SourceErrorIsStickyNotCleanEof) {
+  TraceStore store;
+  store.register_trace("truncated", [] {
+    return std::make_shared<TruncatedSource>(5, "truncated.pcap");
+  });
+
+  // First cursor materializes the 5 good records, then hits the error.
+  auto a = store.open("truncated");
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(a->next().has_value()) << i;
+  EXPECT_THROW(a->next(), PcapError);
+
+  // A second cursor re-reads the published prefix fine — but the tail must
+  // rethrow the SAME typed error. Before the sticky-error fix the backing
+  // re-polled the dead source, whose second read reported clean EOF,
+  // silently shortening the trace.
+  auto b = store.open("truncated");
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(b->next().has_value()) << i;
+  try {
+    b->next();
+    FAIL() << "re-fetch past the error returned clean EOF";
+  } catch (const PcapError& e) {
+    EXPECT_EQ(e.path(), "truncated.pcap");
+    EXPECT_EQ(e.offset(), 24u + 30u * 5u);
+    EXPECT_NE(e.reason().find("truncated record body"), std::string::npos);
+  }
+  // The error also must not have been recorded as an end position.
+  EXPECT_EQ(store.materialized("truncated"), 5u);
+}
+
+TEST(TraceStore, TruncatedPcapFileSurfacesTypedErrorThroughTheStore) {
+  const std::string path = temp_pcap_path("store_trunc");
+  auto bytes = global_header();
+  append_u32s(bytes, {1, 0, 100, 100});
+  bytes.push_back(0x45);
+  write_bytes(path, bytes);
+
+  TraceStore store;
+  store.register_trace("capture",
+                       [path] { return std::make_shared<PcapTrace>(path); });
+  auto cursor = store.open("capture");
+  try {
+    cursor->next();
+    FAIL() << "truncated capture did not throw through the store";
+  } catch (const PcapError& e) {
+    EXPECT_TRUE(e.has_location());
+    EXPECT_EQ(e.path(), path);
+    EXPECT_EQ(e.offset(), 24u);
+  }
+  // Still an error on the next read — and on a fresh cursor.
+  EXPECT_THROW(cursor->next(), PcapError);
+  EXPECT_THROW(store.open("capture")->next(), PcapError);
+  std::filesystem::remove(path);
+}
+
+TEST(ReplayStream, PropagatesTraceTruncationAsTypedError) {
+  // A truncated trace feeding the generator must fail ReplayStream::record
+  // with the typed error, not produce a silently shorter arrival sequence.
+  TraceStore store;
+  store.register_trace("truncated", [] {
+    return std::make_shared<TruncatedSource>(3, "truncated.pcap");
+  });
+  ServiceTraffic s;
+  s.path = ServicePath::kIpForward;
+  s.rate = HoltWintersParams{5.0, 0.0, 0.0, 10.0, 0.0};  // plenty of packets
+  s.trace = store.open("truncated");
+  auto drain = [&s] {
+    PacketGenerator gen({s}, 3, 0.01);
+    ReplayStream::record(gen);
+  };
+  EXPECT_THROW(drain(), PcapError);
 }
 
 TEST(PcapTrace, ActsAsTraceSource) {
