@@ -1,0 +1,164 @@
+// fig_cluster_dispatch: the NIC-side dispatcher comparison on the sharded
+// multi-NP fabric (src/cluster). One trace is recorded once and replayed
+// through every dispatcher row, so the rows differ ONLY in how the front
+// end spreads flows across NPs:
+//
+//   pass      everything to shard 0 — the degenerate single-NP baseline
+//   rr        packet-level round robin: best instantaneous balance, and
+//             the reorder-maximizing wire (every multi-packet flow is
+//             sprayed across NPs)
+//   rss       Toeplitz receive-side scaling: flows never move, zero
+//             cross-NP reordering by construction, but whatever imbalance
+//             the hash deals is permanent
+//   fdir      Flow Director-style signature table: collisions evict to the
+//             least-loaded shard, trading a bounded amount of migration
+//             (and thus cross-NP reordering) for balance
+//   affinity  A-TFN-style in-flight-aware redirection: migrate an
+//             overloaded flow only when nothing of it is in flight, so
+//             migrations cannot reorder
+//   load      least-loaded with immediate migration: the balance-greedy
+//             upper bound on cross-NP reordering
+//
+// The table contrasts the paper's two metrics at cluster scope: load
+// (drop%) against packet order (intra- vs cross-NP out-of-order), which is
+// exactly the Fig. 7/9 trade-off lifted one level up the hierarchy.
+//
+// Usage: fig_cluster_dispatch [--shards=4] [--cores=4] [--seconds=0.02]
+//                             [--seed=17] [--load=1.05] [--trace=caida1]
+//                             [--sync=100us] [--jobs=1]
+//                             [--dispatch=pass;rr;rss;fdir;affinity;load]
+//                             [--scheduler=afs] [--json=PATH]
+//
+// --cores is per shard; --load is relative to the ideal capacity of ALL
+// shards * cores, so shard counts compare at equal offered work. --jobs
+// drives the per-shard-thread executor (bit-identical to --jobs=1 by the
+// cluster determinism contract).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "exp/dispatcher_registry.h"
+#include "exp/harness.h"
+#include "exp/scheduler_registry.h"
+#include "exp/trace_store.h"
+#include "sim/scenarios.h"
+#include "util/duration.h"
+#include "util/fileio.h"
+#include "util/flags.h"
+#include "util/json_writer.h"
+#include "util/tableio.h"
+
+namespace {
+
+int run(laps::Flags& flags) {
+  const auto shards = static_cast<std::size_t>(flags.get_int("shards", 4));
+  const auto cores = static_cast<std::size_t>(flags.get_int("cores", 4));
+  const double seconds = flags.get_double("seconds", 0.02);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 17));
+  const double load = flags.get_double("load", 1.05);
+  const std::string trace = flags.get_string("trace", "caida1");
+  const std::string sync_spec = flags.get_string("sync", "");
+  const auto harness = laps::parse_harness_flags(flags);
+  flags.finish();
+  if (shards < 1) throw std::invalid_argument("--shards must be >= 1");
+  if (cores < 1) throw std::invalid_argument("--cores must be >= 1");
+
+  // One scheduler spec for every shard of every row (fresh instance per
+  // shard — shards are independent NPs).
+  const auto scheduler_specs = laps::schedulers_or(
+      harness, laps::parse_scheduler_list("afs"));
+  if (scheduler_specs.size() != 1) {
+    throw std::invalid_argument(
+        "fig_cluster_dispatch wants exactly one --scheduler spec");
+  }
+  const laps::SchedulerSpec& scheduler = scheduler_specs[0];
+
+  const std::vector<laps::DispatcherSpec> dispatchers =
+      laps::parse_dispatcher_list(harness.dispatch_spec.empty()
+                                      ? "pass;rr;rss;fdir;affinity;load"
+                                      : harness.dispatch_spec);
+
+  // Load is calibrated against the whole cluster's ideal capacity, then the
+  // stream is recorded once; every row forks the same recording.
+  laps::ScenarioOptions options;
+  options.seconds = seconds;
+  options.seed = seed;
+  options.num_cores = shards * cores;
+  auto store = std::make_shared<laps::TraceStore>();
+  options.trace_factory = store->factory();
+  const laps::ScenarioConfig scenario =
+      laps::make_single_service_scenario(trace, options, load);
+  for (const laps::ServiceTraffic& s : scenario.services) s.trace->reset();
+  laps::PacketGenerator generator(scenario.services, scenario.seed,
+                                  scenario.seconds);
+  laps::ReplayStream replay = laps::ReplayStream::record(generator);
+
+  laps::ClusterConfig cluster;
+  cluster.name = scenario.name;
+  cluster.num_shards = shards;
+  cluster.cores_per_shard = cores;
+  cluster.queue_capacity = scenario.queue_capacity;
+  cluster.delay = scenario.delay;
+  cluster.event_queue = scenario.event_queue;
+  cluster.threads = harness.jobs;
+  cluster.make_scheduler = scheduler.make;
+  if (!sync_spec.empty()) {
+    cluster.sync_ns = laps::util::parse_duration("--sync", sync_spec);
+    if (cluster.sync_ns <= 0) {
+      throw std::invalid_argument("--sync must be > 0");
+    }
+  } else {
+    cluster.sync_ns = harness.cluster_sync;
+  }
+
+  std::printf("=== Cluster dispatch: %zu shards x %zu cores, %s @ %.2f load, "
+              "%llu packets, scheduler %s ===\n\n",
+              shards, cores, trace.c_str(), load,
+              static_cast<unsigned long long>(replay.size()),
+              scheduler.name.c_str());
+
+  std::vector<laps::ClusterReport> reports;
+  reports.reserve(dispatchers.size());
+  laps::Table out({"dispatcher", "drop %", "intra-NP ooo %", "cross-NP ooo %",
+                   "cross-NP migr", "Mpps"});
+  for (const laps::DispatcherSpec& spec : dispatchers) {
+    auto dispatcher = spec.make();
+    laps::ReplayStream stream = replay.fork();
+    laps::ClusterReport report = laps::run_cluster(cluster, stream,
+                                                   *dispatcher);
+    out.add_row({spec.display, laps::Table::pct(report.drop_ratio()),
+                 laps::Table::pct(static_cast<double>(
+                                      report.intra_np_out_of_order) /
+                                  std::max<std::uint64_t>(report.delivered, 1)),
+                 laps::Table::pct(report.cross_np_ooo_ratio()),
+                 std::to_string(report.cross_np_migrations),
+                 laps::Table::num(report.throughput_mpps(), 2)});
+    reports.push_back(std::move(report));
+  }
+  std::printf("%s\n", out.to_string().c_str());
+
+  if (!harness.json_path.empty()) {
+    laps::JsonWriter w;
+    w.begin_object();
+    w.field("schema", "laps-cluster-grid-v1");
+    w.field("tool", "fig_cluster_dispatch");
+    w.key("reports");
+    w.begin_array();
+    for (const laps::ClusterReport& r : reports) {
+      laps::write_cluster_report_json(w, r);
+    }
+    w.end_array();
+    w.end_object();
+    const std::string doc = w.str() + "\n";
+    laps::util::write_file_atomic(harness.json_path, doc, "cluster artifact");
+    std::fprintf(stderr, "wrote JSON artifact: %s (%zu bytes)\n",
+                 harness.json_path.c_str(), doc.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return laps::guarded_main(argc, argv, run); }

@@ -31,6 +31,16 @@
 //                  epochs — the price of --telemetry (cached-cell counter
 //                  bumps per packet plus gauge/snapshot work at epoch
 //                  boundaries); gated at <= 5% by scripts/compare_bench.py
+//   cluster+pass   run_cluster with ONE shard behind the pass dispatcher —
+//                  the whole cluster fabric (stepping API, sync windows,
+//                  egress merge, cross-NP detector) wrapped around the
+//                  same engine+report work; its overhead over
+//                  engine+report is the price of the coordination layer,
+//                  and the row is gated at 2% by scripts/compare_bench.py
+//   cluster+rss    run_cluster with four shards of cores/4 each behind
+//                  Toeplitz RSS — the sharded fabric doing real front-end
+//                  work (lockstep executor, so the number is mechanism
+//                  cost, not parallel speedup)
 //
 // When the host allows perf_event_open, every kernel row additionally
 // carries hardware attribution from the best repetition: cycles and
@@ -62,6 +72,8 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster.h"
+#include "cluster/dispatchers.h"
 #include "exp/harness.h"
 #include "exp/scheduler_registry.h"
 #include "sim/engine.h"
@@ -158,11 +170,14 @@ int run(Flags& flags) {
   Measurement npu{"npu"}, engine{"engine"}, engine_heap{"engine+heap"},
       engine_report{"engine+report"}, engine_audit{"engine+audit"},
       engine_flight{"engine+flight"}, engine_laps{"engine+laps"},
-      engine_telem{"engine+telemetry"};
+      engine_telem{"engine+telemetry"}, cluster_pass{"cluster+pass"},
+      cluster_rss{"cluster+rss"};
   npu.packets = engine.packets = engine_heap.packets =
       engine_report.packets = engine_audit.packets = engine_flight.packets =
-          engine_laps.packets = engine_telem.packets = replay.size();
+          engine_laps.packets = engine_telem.packets = cluster_pass.packets =
+              cluster_rss.packets = replay.size();
   SimReport check_npu, check_engine;
+  SimReport check_cluster;
 
   // One scope for all kernels: counters reset at each start(), and the
   // reading of the repetition that won best-of is what the artifact keeps.
@@ -241,6 +256,34 @@ int run(Flags& flags) {
     telemetry::TelemetryProbe probe;
     return time_engine_cfg(telem_cfg, &probe);
   };
+  // The cluster fabric on replayed traffic. Engine construction happens
+  // inside run_cluster and is therefore timed; at bench packet counts it is
+  // noise, and including it keeps the row honest about what --shards costs
+  // end to end. Streams fork the shared recording (no re-record, no copy).
+  const auto time_cluster = [&](std::size_t shards, Dispatcher& dispatcher,
+                                SimReport* check) {
+    ClusterConfig cfg;
+    cfg.name = "perf_kernel";
+    cfg.num_shards = shards;
+    cfg.cores_per_shard = cores / shards;
+    cfg.make_scheduler = [] { return std::make_unique<ModuloScheduler>(); };
+    ReplayStream stream = replay.fork();
+    pmu.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    ClusterReport rep = run_cluster(cfg, stream, dispatcher);
+    const double s = seconds_since(t0);
+    last_reading = pmu.stop();
+    if (check != nullptr) *check = std::move(rep.shards[0]);
+    return s;
+  };
+  const auto time_cluster_pass = [&]() {
+    PassDispatcher pass;
+    return time_cluster(1, pass, &check_cluster);
+  };
+  const auto time_cluster_rss = [&]() {
+    RssDispatcher rss;
+    return time_cluster(cores >= 4 ? 4 : 1, rss, nullptr);
+  };
 
   // One warm-up pass, then `reps` interleaved passes (noise hits all eight
   // kernels alike); best-of wins. The telemetry row runs right after the
@@ -256,6 +299,8 @@ int run(Flags& flags) {
   time_audit();
   time_flight();
   time_laps();
+  time_cluster_pass();
+  time_cluster_rss();
   const auto keep_best = [&last_reading](Measurement& m, double s, int r) {
     if (r == 0 || s < m.best_seconds) {
       m.best_seconds = s;
@@ -271,6 +316,8 @@ int run(Flags& flags) {
     keep_best(engine_audit, time_audit(), r);
     keep_best(engine_flight, time_flight(), r);
     keep_best(engine_laps, time_laps(), r);
+    keep_best(cluster_pass, time_cluster_pass(), r);
+    keep_best(cluster_rss, time_cluster_rss(), r);
   }
 
   // The two reporting kernels must agree exactly — this bench doubles as a
@@ -279,6 +326,12 @@ int run(Flags& flags) {
   // wheel-backed SimEngine, so this also cross-checks the two queues.
   if (report_to_json(check_npu) != report_to_json(check_engine)) {
     throw std::logic_error("perf_kernel: npu and engine reports differ");
+  }
+  // And the one-shard pass-through cluster must BE the engine+report run —
+  // the shards=1 identity contract, re-proven on every bench invocation.
+  if (report_to_json(check_cluster) != report_to_json(check_engine)) {
+    throw std::logic_error(
+        "perf_kernel: cluster+pass shard report diverged from engine+report");
   }
 
   const double speedup = npu.best_seconds / engine.best_seconds;
@@ -290,10 +343,15 @@ int run(Flags& flags) {
   const double audit_overhead = overhead_vs_engine(engine_audit);
   const double flight_overhead = overhead_vs_engine(engine_flight);
   const double telemetry_overhead = overhead_vs_engine(engine_telem);
+  // Coordination cost of the cluster fabric over the identical simulation
+  // work (engine+report is what one shard runs inside).
+  const double cluster_pass_overhead =
+      cluster_pass.best_seconds / engine_report.best_seconds - 1.0;
 
   const std::vector<const Measurement*> rows = {
-      &npu,          &engine,       &engine_heap, &engine_report,
-      &engine_audit, &engine_flight, &engine_laps, &engine_telem};
+      &npu,          &engine,        &engine_heap, &engine_report,
+      &engine_audit, &engine_flight, &engine_laps, &engine_telem,
+      &cluster_pass, &cluster_rss};
 
   std::printf("=== Kernel throughput: %llu replayed packets/run, %zu cores, "
               "best of %d ===\n\n",
@@ -330,6 +388,9 @@ int run(Flags& flags) {
               flight_overhead * 100.0);
   std::printf("TelemetryProbe overhead over null probes: %.1f%%\n",
               telemetry_overhead * 100.0);
+  std::printf("Cluster fabric overhead over engine+report (1 shard, pass): "
+              "%.1f%%\n",
+              cluster_pass_overhead * 100.0);
 
   if (!harness.json_path.empty()) {
     JsonWriter w;
@@ -365,6 +426,7 @@ int run(Flags& flags) {
     w.field("audit_probe_overhead", audit_overhead);
     w.field("flight_probe_overhead", flight_overhead);
     w.field("telemetry_probe_overhead", telemetry_overhead);
+    w.field("cluster_pass_overhead", cluster_pass_overhead);
     w.end_object();
     const std::string doc = w.str() + "\n";
     laps::util::write_file_atomic(harness.json_path, doc, "perf artifact");

@@ -7,6 +7,7 @@
 #        scripts/check_sanitize.sh --chaos [chaos_soak-args...]
 #        scripts/check_sanitize.sh --tsan [ctest-args...]
 #        scripts/check_sanitize.sh --resilience
+#        scripts/check_sanitize.sh --cluster [fig_cluster_dispatch-args...]
 #
 # --chaos builds and runs the chaos_soak fault-injection grid under the
 # sanitizers instead of ctest: every fault path (core flush, stall resume,
@@ -48,6 +49,22 @@ if [[ "${1:-}" == "--resilience" ]]; then
   exec ./build-asan/bench/chaos_soak --schedules=8 --jobs=2 --seconds=0.004 \
     --runner-chaos=1905 --runner-chaos-fail=0.2 --runner-chaos-hang=0.05 \
     --job-timeout=2s --job-retries=6 "$@"
+fi
+
+if [[ "${1:-}" == "--cluster" ]]; then
+  shift
+  # Cluster-layer proof under ASan+UBSan: the shards=1 byte-identity and
+  # lockstep-vs-threaded differentials, dispatcher-spec parsing/fuzzing,
+  # and the ReplayStream fork regression — then a threaded
+  # fig_cluster_dispatch grid so every dispatcher's hot path executes with
+  # memory/UB checking on. Pass fig_cluster_dispatch flags to widen it.
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)" \
+    --target cluster_test registry_test traffic_test fig_cluster_dispatch
+  ctest --preset asan --output-on-failure \
+    -R 'Cluster|DispatcherSpec|DispatcherRoundTrip|ReplayFork'
+  exec ./build-asan/bench/fig_cluster_dispatch --shards=3 --cores=2 \
+    --seconds=0.004 --jobs=3 "$@"
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then

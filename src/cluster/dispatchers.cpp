@@ -1,0 +1,182 @@
+#include "cluster/dispatchers.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace laps {
+namespace {
+
+/// Least-outstanding shard, ties to the lowest id (the deterministic
+/// tie-break every dispatcher shares).
+ShardId least_outstanding(const ClusterView& view) {
+  ShardId best = 0;
+  std::uint64_t best_out = view.shards[0].outstanding();
+  for (ShardId i = 1; i < view.shards.size(); ++i) {
+    const std::uint64_t out = view.shards[i].outstanding();
+    if (out < best_out) {
+      best = i;
+      best_out = out;
+    }
+  }
+  return best;
+}
+
+void grow_flow_lane(std::vector<ShardId>& lane, std::uint32_t gflow) {
+  if (gflow >= lane.size()) {
+    lane.resize(std::max<std::size_t>(
+        64, std::bit_ceil(static_cast<std::size_t>(gflow) + 1)));
+  }
+}
+
+}  // namespace
+
+void PassDispatcher::attach(std::size_t num_shards) {
+  if (target_ >= num_shards) {
+    throw std::invalid_argument("PassDispatcher: target shard out of range");
+  }
+}
+
+void RoundRobinDispatcher::attach(std::size_t num_shards) {
+  shards_ = static_cast<ShardId>(num_shards);
+  next_ = 0;
+}
+
+void RssDispatcher::attach(std::size_t num_shards) {
+  shards_ = static_cast<std::uint32_t>(num_shards);
+}
+
+FlowDirectorDispatcher::FlowDirectorDispatcher(std::size_t slots) {
+  if (slots == 0) {
+    throw std::invalid_argument("FlowDirectorDispatcher: 0 slots");
+  }
+  slots_.resize(slots);
+}
+
+void FlowDirectorDispatcher::attach(std::size_t) {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  inserts_ = 0;
+  evictions_ = 0;
+  reassignments_ = 0;
+}
+
+ShardId FlowDirectorDispatcher::pick(const GeneratedPacket& pkt,
+                                     const ClusterView& view) {
+  const std::uint32_t h = hash_.hash(pkt.record.tuple);
+  Slot& slot = slots_[h % slots_.size()];
+  if (!slot.valid || slot.sig != h) {
+    // Miss: insert (evicting a colliding flow's entry), placing the flow on
+    // the currently least-loaded shard. The evicted flow's next packet will
+    // itself miss and re-insert — possibly elsewhere: the reordering
+    // mechanism under study.
+    const ShardId target = least_outstanding(view);
+    if (slot.valid) {
+      ++evictions_;
+      if (slot.target != target) ++reassignments_;
+    }
+    slot = Slot{h, target, true};
+    ++inserts_;
+  }
+  return slot.target;
+}
+
+std::map<std::string, double> FlowDirectorDispatcher::extra_stats() const {
+  return {
+      {"fdir_inserts", static_cast<double>(inserts_)},
+      {"fdir_evictions", static_cast<double>(evictions_)},
+      {"fdir_reassignments", static_cast<double>(reassignments_)},
+  };
+}
+
+AffinityDispatcher::AffinityDispatcher(std::uint64_t th, bool drain)
+    : th_(th), drain_(drain) {}
+
+void AffinityDispatcher::attach(std::size_t) {
+  home_plus1_.clear();
+  inflight_.clear();
+  migrations_ = 0;
+  blocked_migrations_ = 0;
+}
+
+void AffinityDispatcher::ensure(std::uint32_t gflow) {
+  if (gflow >= home_plus1_.size()) {
+    const std::size_t size = std::max<std::size_t>(
+        64, std::bit_ceil(static_cast<std::size_t>(gflow) + 1));
+    home_plus1_.resize(size);
+    inflight_.resize(size);
+  }
+}
+
+ShardId AffinityDispatcher::pick(const GeneratedPacket& pkt,
+                                 const ClusterView& view) {
+  ensure(pkt.gflow);
+  ShardId& home_plus1 = home_plus1_[pkt.gflow];
+  if (home_plus1 == 0) {
+    home_plus1 = least_outstanding(view) + 1;
+  } else {
+    const ShardId home = home_plus1 - 1;
+    const ShardId best = least_outstanding(view);
+    if (view.shards[home].outstanding() >
+        view.shards[best].outstanding() + th_) {
+      // The home is overloaded; redirect — but only reorder-safely: with
+      // drain on, a flow moves only between its own bursts (no packet of
+      // it still in flight on the old shard).
+      if (!drain_ || inflight_[pkt.gflow] == 0) {
+        home_plus1 = best + 1;
+        ++migrations_;
+      } else {
+        ++blocked_migrations_;
+      }
+    }
+  }
+  ++inflight_[pkt.gflow];
+  return home_plus1 - 1;
+}
+
+void AffinityDispatcher::on_sync(const ClusterView&,
+                                 std::span<const std::uint32_t> completed) {
+  for (const std::uint32_t gflow : completed) {
+    if (gflow < inflight_.size() && inflight_[gflow] > 0) {
+      --inflight_[gflow];
+    }
+  }
+}
+
+std::map<std::string, double> AffinityDispatcher::extra_stats() const {
+  return {
+      {"affinity_migrations", static_cast<double>(migrations_)},
+      {"affinity_blocked_migrations",
+       static_cast<double>(blocked_migrations_)},
+  };
+}
+
+LeastLoadedDispatcher::LeastLoadedDispatcher(std::uint64_t th) : th_(th) {}
+
+void LeastLoadedDispatcher::attach(std::size_t) {
+  home_plus1_.clear();
+  migrations_ = 0;
+}
+
+ShardId LeastLoadedDispatcher::pick(const GeneratedPacket& pkt,
+                                    const ClusterView& view) {
+  grow_flow_lane(home_plus1_, pkt.gflow);
+  ShardId& home_plus1 = home_plus1_[pkt.gflow];
+  if (home_plus1 == 0) {
+    home_plus1 = least_outstanding(view) + 1;
+  } else {
+    const ShardId home = home_plus1 - 1;
+    const ShardId best = least_outstanding(view);
+    if (view.shards[home].outstanding() >
+        view.shards[best].outstanding() + th_) {
+      if (best != home) ++migrations_;
+      home_plus1 = best + 1;
+    }
+  }
+  return home_plus1 - 1;
+}
+
+std::map<std::string, double> LeastLoadedDispatcher::extra_stats() const {
+  return {{"load_migrations", static_cast<double>(migrations_)}};
+}
+
+}  // namespace laps

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/dispatcher.h"
+#include "util/toeplitz.h"
+
+namespace laps {
+
+/// `pass`: every packet to one fixed shard. With shards=1 this is the
+/// identity front end — the cluster's differential anchor: the shard's
+/// SimReport must be byte-identical to running the engine directly
+/// (asserted by cluster_test).
+class PassDispatcher final : public Dispatcher {
+ public:
+  explicit PassDispatcher(ShardId target = 0) : target_(target) {}
+
+  void attach(std::size_t num_shards) override;
+  ShardId pick(const GeneratedPacket&, const ClusterView&) override {
+    return target_;
+  }
+  bool wants_completions() const override { return false; }
+  std::string name() const override { return "Pass"; }
+
+ private:
+  ShardId target_;
+};
+
+/// `rr`: packet-level round robin. Perfect packet balance, zero flow
+/// affinity — the reorder-maximizing baseline every NIC design is
+/// measured against.
+class RoundRobinDispatcher final : public Dispatcher {
+ public:
+  void attach(std::size_t num_shards) override;
+  ShardId pick(const GeneratedPacket&, const ClusterView&) override {
+    const ShardId t = next_;
+    next_ = (next_ + 1 == shards_) ? 0 : next_ + 1;
+    return t;
+  }
+  bool wants_completions() const override { return false; }
+  std::string name() const override { return "RoundRobin"; }
+
+ private:
+  ShardId shards_ = 1;
+  ShardId next_ = 0;
+};
+
+/// `rss`: receive-side scaling — Toeplitz hash of the 5-tuple modulo the
+/// shard count (Microsoft's canonical key). Stateless, so a flow never
+/// moves: zero cross-NP migrations and zero cross-NP reordering, at the
+/// cost of whatever imbalance the hash hands out.
+class RssDispatcher final : public Dispatcher {
+ public:
+  void attach(std::size_t num_shards) override;
+  ShardId pick(const GeneratedPacket& pkt, const ClusterView&) override {
+    return static_cast<ShardId>(hash_.hash(pkt.record.tuple) % shards_);
+  }
+  bool wants_completions() const override { return false; }
+  std::string name() const override { return "RSS"; }
+
+ private:
+  ToeplitzHash hash_;
+  std::uint32_t shards_ = 1;
+};
+
+/// `fdir:slots=N`: Intel Flow Director emulation. A hash-indexed signature
+/// table maps flows to shards: slot = hash % slots, the full 32-bit hash
+/// as the signature. A miss (empty slot or signature mismatch) assigns the
+/// least-outstanding shard and overwrites the slot — the eviction/
+/// re-insertion of colliding flows is exactly the mechanism that makes
+/// Flow Director reorder packets ("Why Does Flow Director Cause Packet
+/// Reordering?"): an evicted flow that later re-inserts may land on a
+/// different shard while its earlier packets are still in flight. Flows
+/// whose full hashes collide share an entry, as in the real table.
+class FlowDirectorDispatcher final : public Dispatcher {
+ public:
+  explicit FlowDirectorDispatcher(std::size_t slots = 4096);
+
+  void attach(std::size_t num_shards) override;
+  ShardId pick(const GeneratedPacket& pkt, const ClusterView& view) override;
+  bool wants_completions() const override { return false; }
+  std::string name() const override { return "FlowDirector"; }
+  std::map<std::string, double> extra_stats() const override;
+
+ private:
+  struct Slot {
+    std::uint32_t sig = 0;
+    ShardId target = 0;
+    bool valid = false;
+  };
+
+  ToeplitzHash hash_;
+  std::vector<Slot> slots_;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t reassignments_ = 0;  ///< re-inserts that changed shard
+};
+
+/// `affinity:th=T,drain=0|1`: A-TFN-style flow affinity with in-flight-
+/// aware redirection ("A Transport-Friendly NIC for Multicore/
+/// Multiprocessor Systems"). Each flow has a home shard (first packet:
+/// least outstanding). When the home's outstanding backlog exceeds the
+/// least-loaded shard's by more than `th`, the flow wants to migrate —
+/// but with drain=1 (the A-TFN rule, default) the move is taken only when
+/// the flow has zero packets in flight, so migration cannot reorder;
+/// drain=0 migrates immediately (the control for what the safety rule
+/// buys). In-flight counts are dispatch-increment / sync-feedback-
+/// decrement, so estimates lag by at most one sync window.
+class AffinityDispatcher final : public Dispatcher {
+ public:
+  explicit AffinityDispatcher(std::uint64_t th = 32, bool drain = true);
+
+  void attach(std::size_t num_shards) override;
+  ShardId pick(const GeneratedPacket& pkt, const ClusterView& view) override;
+  void on_sync(const ClusterView& view,
+               std::span<const std::uint32_t> completed) override;
+  std::string name() const override {
+    return drain_ ? "Affinity" : "Affinity-nodrain";
+  }
+  std::map<std::string, double> extra_stats() const override;
+
+ private:
+  void ensure(std::uint32_t gflow);
+
+  std::uint64_t th_;
+  bool drain_;
+  std::vector<ShardId> home_plus1_;      ///< by gflow; 0 = unassigned
+  std::vector<std::uint32_t> inflight_;  ///< by gflow; home-shard packets
+  std::uint64_t migrations_ = 0;
+  std::uint64_t blocked_migrations_ = 0;  ///< wanted but in-flight (drain)
+};
+
+/// `load:th=T`: least-loaded with immediate migration. New flows go to the
+/// least-outstanding shard; an existing flow migrates the moment its home
+/// exceeds the least-loaded by more than `th`. Maximum balance, no
+/// reordering protection — the cluster-level analogue of the paper's
+/// naive intra-NP migration.
+class LeastLoadedDispatcher final : public Dispatcher {
+ public:
+  explicit LeastLoadedDispatcher(std::uint64_t th = 32);
+
+  void attach(std::size_t num_shards) override;
+  ShardId pick(const GeneratedPacket& pkt, const ClusterView& view) override;
+  bool wants_completions() const override { return false; }
+  std::string name() const override { return "LeastLoaded"; }
+  std::map<std::string, double> extra_stats() const override;
+
+ private:
+  std::uint64_t th_;
+  std::vector<ShardId> home_plus1_;  ///< by gflow; 0 = unassigned
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace laps

@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "exp/dispatcher_registry.h"
 #include "exp/scheduler_registry.h"
 #include "sim/afd_accuracy.h"
 #include "sim/fault.h"
@@ -119,6 +120,24 @@ HarnessOptions parse_harness_flags(Flags& flags) {
     opts.schedulers = parse_scheduler_list(opts.scheduler_list);
   }
 
+  const std::int64_t shards = flags.get_int("shards", 1);
+  if (shards < 1) throw std::invalid_argument("--shards must be >= 1");
+  opts.shards = static_cast<std::size_t>(shards);
+  const std::string dispatch = flags.get_string("dispatch", "");
+  if (!dispatch.empty()) {
+    // Eager validation, same fail-fast contract as --scheduler; kept raw
+    // (cluster binaries split the semicolon list themselves).
+    parse_dispatcher_list(dispatch);
+    opts.dispatch_spec = dispatch;
+  }
+  const std::string sync = flags.get_string("cluster-sync", "");
+  if (!sync.empty()) {
+    opts.cluster_sync = util::parse_duration("--cluster-sync", sync);
+    if (opts.cluster_sync <= 0) {
+      throw std::invalid_argument("--cluster-sync must be > 0");
+    }
+  }
+
   const std::string timeout = flags.get_string("job-timeout", "");
   if (!timeout.empty()) {
     opts.job_timeout = util::parse_duration("--job-timeout", timeout);
@@ -179,6 +198,9 @@ ParallelRunner make_runner(const HarnessOptions& opts) {
   salt = fold(salt, opts.event_queue.has_value()
                         ? std::to_string(static_cast<int>(*opts.event_queue))
                         : std::string());
+  salt = fold(salt, std::to_string(opts.shards));
+  salt = fold(salt, opts.dispatch_spec);
+  salt = fold(salt, std::to_string(opts.cluster_sync));
   policy.journal_salt = salt;
   policy.handle_signals = !opts.journal_path.empty();
   if (opts.runner_chaos) {

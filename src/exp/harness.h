@@ -54,6 +54,14 @@ struct HarnessOptions {
   /// Parsed --scheduler specs. Empty = the binary's built-in scheduler
   /// table; see schedulers_or().
   std::vector<SchedulerSpec> schedulers;
+  // Cluster mode (src/cluster): shard the engine behind a front-end
+  // dispatcher. shards=1 with the default pass dispatcher is proven
+  // byte-identical to the single-engine path.
+  std::size_t shards = 1;          ///< --shards=N SimEngine shards
+  std::string dispatch_spec;       ///< raw --dispatch spec list (validated
+                                   ///< eagerly); empty = flag not given and
+                                   ///< the binary's defaults apply
+  TimeNs cluster_sync = 100 * kMicrosecond;  ///< sync-window width
   // Resilience (see exp/experiment.h RunnerPolicy, exp/journal.h,
   // exp/watchdog.h).
   TimeNs job_timeout = 0;        ///< per-attempt watchdog budget; 0 = off
@@ -103,6 +111,15 @@ struct HarnessOptions {
 ///                             replacing the binary's built-in table; an
 ///                             unknown name or parameter fails fast listing
 ///                             the valid ones (exp/scheduler_registry.h)
+///   --shards=N                cluster mode: N independent SimEngine shards
+///                             behind a front-end dispatcher (default 1)
+///   --dispatch=LIST           semicolon-separated dispatcher registry
+///                             specs (e.g. "rss;fdir:slots=4096;affinity"),
+///                             validated eagerly with the same fail-fast
+///                             errors as --scheduler
+///                             (exp/dispatcher_registry.h)
+///   --cluster-sync=D          cluster sync-window width (parse_duration:
+///                             "100us", "1ms"; default 100us)
 ///   --job-timeout=D           per-attempt watchdog budget (parse_duration:
 ///                             "30s", "500ms"); a cell whose attempt exceeds
 ///                             it is cancelled (and retried if budget left)

@@ -1,8 +1,5 @@
 #include "exp/scheduler_registry.h"
 
-#include <charconv>
-#include <map>
-#include <set>
 #include <sstream>
 
 #include "baselines/adaptive_hash.h"
@@ -13,210 +10,29 @@
 #include "baselines/oracle_topk.h"
 #include "baselines/static_hash.h"
 #include "core/laps.h"
-#include "util/duration.h"
+#include "exp/spec_lang.h"
 
 namespace laps {
 namespace {
 
-// ------------------------------------------------------------ spec parsing
+// The grammar machinery (spec parsing, typed parameter accessors, the
+// canonical printer) is shared with the dispatcher registry — see
+// exp/spec_lang.h. These aliases bind it to this registry's error type and
+// "scheduler" message prefix; the error text is byte-identical to the
+// pre-hoist registry (asserted by registry_test).
 
-using ParamMap = std::map<std::string, std::string>;
+using ParsedSpec = spec::ParsedSpec;
+using SpecPrinter = spec::SpecPrinter;
 
-struct ParsedSpec {
-  std::string name;
-  ParamMap params;
-};
-
-ParsedSpec parse_spec(const std::string& spec) {
-  ParsedSpec out;
-  const std::size_t colon = spec.find(':');
-  out.name = spec.substr(0, colon);
-  if (out.name.empty()) {
-    throw SchedulerSpecError("empty scheduler name in spec '" + spec + "'");
-  }
-  if (colon == std::string::npos) return out;
-
-  const std::string rest = spec.substr(colon + 1);
-  std::size_t pos = 0;
-  while (pos <= rest.size()) {
-    std::size_t comma = rest.find(',', pos);
-    if (comma == std::string::npos) comma = rest.size();
-    const std::string token = rest.substr(pos, comma - pos);
-    const std::size_t eq = token.find('=');
-    if (token.empty() || eq == 0 || eq == std::string::npos) {
-      throw SchedulerSpecError("malformed parameter '" + token +
-                               "' in spec '" + spec +
-                               "' (expected key=value)");
-    }
-    const std::string key = token.substr(0, eq);
-    if (!out.params.emplace(key, token.substr(eq + 1)).second) {
-      throw SchedulerSpecError("duplicate parameter '" + key + "' in spec '" +
-                               spec + "'");
-    }
-    pos = comma + 1;
-  }
-  return out;
+ParsedSpec parse_spec(const std::string& s) {
+  return spec::parse_spec<SchedulerSpecError>(s, "scheduler");
 }
 
-// ------------------------------------------------------------ value parsing
-
-std::uint64_t parse_u64(const std::string& scheduler, const std::string& key,
-                        const std::string& value) {
-  std::uint64_t parsed = 0;
-  const auto [ptr, ec] =
-      std::from_chars(value.data(), value.data() + value.size(), parsed);
-  if (ec != std::errc{} || ptr != value.data() + value.size()) {
-    throw SchedulerSpecError("scheduler '" + scheduler + "': parameter '" +
-                             key + "' wants a non-negative integer, got '" +
-                             value + "'");
-  }
-  return parsed;
-}
-
-double parse_double(const std::string& scheduler, const std::string& key,
-                    const std::string& value) {
-  double parsed = 0.0;
-  const auto [ptr, ec] =
-      std::from_chars(value.data(), value.data() + value.size(), parsed);
-  if (ec != std::errc{} || ptr != value.data() + value.size()) {
-    throw SchedulerSpecError("scheduler '" + scheduler + "': parameter '" +
-                             key + "' wants a number, got '" + value + "'");
-  }
-  return parsed;
-}
-
-bool parse_bool(const std::string& scheduler, const std::string& key,
-                const std::string& value) {
-  if (value == "1" || value == "true" || value == "on" || value == "yes") {
-    return true;
-  }
-  if (value == "0" || value == "false" || value == "off" || value == "no") {
-    return false;
-  }
-  throw SchedulerSpecError("scheduler '" + scheduler + "': parameter '" +
-                           key + "' wants a boolean (1/0/true/false), got '" +
-                           value + "'");
-}
-
-TimeNs parse_duration(const std::string& scheduler, const std::string& key,
-                      const std::string& value) {
-  // The suffix grammar lives in util::parse_duration (shared with the
-  // harness --telemetry flag); only the exception type is ours. The message
-  // text is byte-identical to the pre-hoist registry errors.
-  try {
-    return util::parse_duration(
-        "scheduler '" + scheduler + "': parameter '" + key + "'", value);
-  } catch (const std::invalid_argument& e) {
-    throw SchedulerSpecError(e.what());
-  }
-}
-
-/// Typed accessors over a parsed parameter map. Every key a scheduler
-/// understands is consumed by a getter; finish() then rejects leftovers,
-/// listing the full valid set — the fail-fast contract for typos.
-class Params {
+class Params : public spec::Params<SchedulerSpecError> {
  public:
-  Params(std::string scheduler, ParamMap params)
-      : scheduler_(std::move(scheduler)), params_(std::move(params)) {}
-
-  std::uint64_t get_u64(const char* key, std::uint64_t def) {
-    const std::string* v = consume(key);
-    return v ? parse_u64(scheduler_, key, *v) : def;
-  }
-  std::size_t get_size(const char* key, std::size_t def) {
-    return static_cast<std::size_t>(get_u64(key, def));
-  }
-  std::uint32_t get_u32(const char* key, std::uint32_t def) {
-    return static_cast<std::uint32_t>(get_u64(key, def));
-  }
-  double get_double(const char* key, double def) {
-    const std::string* v = consume(key);
-    return v ? parse_double(scheduler_, key, *v) : def;
-  }
-  bool get_bool(const char* key, bool def) {
-    const std::string* v = consume(key);
-    return v ? parse_bool(scheduler_, key, *v) : def;
-  }
-  TimeNs get_duration(const char* key, TimeNs def) {
-    const std::string* v = consume(key);
-    return v ? parse_duration(scheduler_, key, *v) : def;
-  }
-
-  /// Rejects any parameter no getter asked for.
-  void finish() const {
-    for (const auto& [key, value] : params_) {
-      if (known_.count(key) != 0) continue;
-      std::ostringstream msg;
-      msg << "scheduler '" << scheduler_ << "': unknown parameter '" << key
-          << "'; valid parameters:";
-      if (known_.empty()) {
-        msg << " (none)";
-      } else {
-        for (const std::string& k : known_) msg << ' ' << k;
-      }
-      throw SchedulerSpecError(msg.str());
-    }
-  }
-
- private:
-  const std::string* consume(const char* key) {
-    known_.insert(key);
-    const auto it = params_.find(key);
-    return it == params_.end() ? nullptr : &it->second;
-  }
-
-  std::string scheduler_;
-  ParamMap params_;
-  std::set<std::string> known_;  // ordered, so error text is stable
-};
-
-// --------------------------------------------------------- canonical form
-
-/// Accumulates non-default `key=value` pairs in declaration order.
-class SpecPrinter {
- public:
-  explicit SpecPrinter(std::string name) : out_(std::move(name)) {}
-
-  void add_u64(const char* key, std::uint64_t value, std::uint64_t def) {
-    if (value != def) add(key, std::to_string(value));
-  }
-  void add_size(const char* key, std::size_t value, std::size_t def) {
-    add_u64(key, value, def);
-  }
-  void add_u32(const char* key, std::uint32_t value, std::uint32_t def) {
-    add_u64(key, value, def);
-  }
-  void add_double(const char* key, double value, double def) {
-    if (value != def) add(key, format_double(value));
-  }
-  void add_bool(const char* key, bool value, bool def) {
-    if (value != def) add(key, value ? "1" : "0");
-  }
-  void add_duration(const char* key, TimeNs value, TimeNs def) {
-    if (value != def) add(key, std::to_string(value) + "ns");
-  }
-
-  std::string str() const { return out_; }
-
- private:
-  static std::string format_double(double value) {
-    // Shortest round-trip representation, so canonical specs re-parse to
-    // the bit-identical double.
-    char buf[64];
-    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
-    return ec == std::errc{} ? std::string(buf, ptr) : std::to_string(value);
-  }
-
-  void add(const char* key, const std::string& value) {
-    out_ += first_ ? ':' : ',';
-    first_ = false;
-    out_ += key;
-    out_ += '=';
-    out_ += value;
-  }
-
-  std::string out_;
-  bool first_ = true;
+  Params(std::string scheduler, spec::ParamMap params)
+      : spec::Params<SchedulerSpecError>("scheduler", std::move(scheduler),
+                                        std::move(params)) {}
 };
 
 // --------------------------------------------- per-scheduler config logic

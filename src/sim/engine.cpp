@@ -86,6 +86,27 @@ void SimEngine::emit_engine_sample(TimeNs t) {
 }
 
 void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
+  begin_run(scenario, arrivals.total_flows());
+
+  auto arrival = arrivals.next();
+  // Flow records are a random access into a block that outgrows the cache
+  // for realistic trace populations; start fetching the next arrival's
+  // record while earlier events are still being processed.
+  if (arrival && arrival->gflow < flows_.size()) {
+    __builtin_prefetch(&flows_.at(arrival->gflow), 1);
+  }
+  while (arrival) {
+    feed(*arrival);
+    arrival = arrivals.next();
+    if (arrival && arrival->gflow < flows_.size()) {
+      __builtin_prefetch(&flows_.at(arrival->gflow), 1);
+    }
+  }
+  finish_run();
+}
+
+void SimEngine::begin_run(const std::string& scenario,
+                          std::size_t total_flows) {
   RunInfo info;
   info.scenario = scenario;
   info.scheduler = scheduler_.name();
@@ -98,88 +119,102 @@ void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
   scheduler_.attach(config_.num_cores);
 
   // Pre-size the flow block when the generator knows its population.
-  flows_.ensure(arrivals.total_flows() > 0
-                    ? static_cast<std::uint32_t>(arrivals.total_flows() - 1)
-                    : 0);
+  flows_.ensure(total_flows > 0 ? static_cast<std::uint32_t>(total_flows - 1)
+                                : 0);
 
-  const bool epochs = config_.epoch_ns > 0 && !probes_.empty();
-  epochs_on_ = epochs;
+  epochs_on_ = config_.epoch_ns > 0 && !probes_.empty();
   next_epoch_ = config_.epoch_ns;
+  fault_next_ = 0;
+  horizon_ = 0;
+}
 
-  const std::vector<FaultEvent>* fault_events =
-      faults_on_ ? &config_.faults->events : nullptr;
-  std::size_t fault_next = 0;
-
-  auto arrival = arrivals.next();
-  TimeNs horizon = 0;
-  // Flow records are a random access into a block that outgrows the cache
-  // for realistic trace populations; start fetching the next arrival's
-  // record while earlier events are still being processed.
-  if (arrival && arrival->gflow < flows_.size()) {
-    __builtin_prefetch(&flows_.at(arrival->gflow), 1);
+void SimEngine::apply_due_faults(TimeNs limit) {
+  const std::vector<FaultEvent>& events = config_.faults->events;
+  while (fault_next_ < events.size() && events[fault_next_].time <= limit) {
+    apply_fault(events[fault_next_++], /*advance=*/true);
   }
+}
 
-  while (arrival || !completions_.empty()) {
+void SimEngine::pop_completion() {
+  const Completion c = completions_.pop();
+  if (faults_on_) {
+    if (c.resume) {
+      // Stall expiry: advance the clock and retry the core.
+      if (epochs_on_) emit_epochs_until(c.time);
+      now_ = c.time;
+      resume_pending_[c.core] = 0;
+      maybe_resume(c.core);
+      return;
+    }
+    if (c.gen != cores_[c.core].gen) return;  // flushed; clock frozen
+  }
+  if (epochs_on_) emit_epochs_until(c.time);
+  now_ = c.time;
+  ++completions_handled_;
+  handle_completion(c.core);
+}
+
+void SimEngine::feed(const GeneratedPacket& arrival) {
+  for (;;) {
     // Fault events execute first at their tick: a core_down at t flushes
     // before a completion or arrival at the same t runs, so the scheduler
     // sees the post-fault topology for the simultaneous packet.
-    if (fault_events != nullptr && fault_next < fault_events->size()) {
-      TimeNs next_t = arrival ? arrival->time
-                              : std::numeric_limits<TimeNs>::max();
+    if (faults_on_ && fault_next_ < config_.faults->events.size()) {
+      TimeNs next_t = arrival.time;
       if (!completions_.empty()) {
         next_t = std::min(next_t, completions_.top_time());
       }
-      while (fault_next < fault_events->size() &&
-             (*fault_events)[fault_next].time <= next_t) {
-        apply_fault((*fault_events)[fault_next++], /*advance=*/true);
-      }
-      if (!arrival && completions_.empty()) break;  // faults flushed the rest
+      apply_due_faults(next_t);
     }
     // Completions at the same tick run before arrivals: the freed queue
     // slot is visible to a simultaneously arriving packet, matching
     // hardware where dequeue happens early in the cycle.
-    if (arrival &&
-        (completions_.empty() || arrival->time < completions_.top_time())) {
-      if (epochs) emit_epochs_until(arrival->time);
-      now_ = arrival->time;
-      horizon = now_;
-      SimPacket pkt;
-      pkt.arrival = arrival->time;
-      pkt.tuple = arrival->record.tuple;
-      pkt.gflow = arrival->gflow;
-      pkt.size_bytes = arrival->record.size_bytes;
-      pkt.service = arrival->service;
-      handle_arrival(pkt);
-      arrival = arrivals.next();
-      if (arrival && arrival->gflow < flows_.size()) {
-        __builtin_prefetch(&flows_.at(arrival->gflow), 1);
-      }
-    } else {
-      const Completion c = completions_.pop();
-      if (faults_on_) {
-        if (c.resume) {
-          // Stall expiry: advance the clock and retry the core.
-          if (epochs) emit_epochs_until(c.time);
-          now_ = c.time;
-          resume_pending_[c.core] = 0;
-          maybe_resume(c.core);
-          continue;
-        }
-        if (c.gen != cores_[c.core].gen) continue;  // flushed; clock frozen
-      }
-      if (epochs) emit_epochs_until(c.time);
-      now_ = c.time;
-      ++completions_handled_;
-      handle_completion(c.core);
+    if (!completions_.empty() && completions_.top_time() <= arrival.time) {
+      pop_completion();
+      continue;
     }
+    break;
+  }
+  if (epochs_on_) emit_epochs_until(arrival.time);
+  now_ = arrival.time;
+  horizon_ = now_;
+  SimPacket pkt;
+  pkt.arrival = arrival.time;
+  pkt.tuple = arrival.record.tuple;
+  pkt.gflow = arrival.gflow;
+  pkt.cluster_seq = arrival.cluster_seq;
+  pkt.size_bytes = arrival.record.size_bytes;
+  pkt.service = arrival.service;
+  handle_arrival(pkt);
+}
+
+void SimEngine::advance_to(TimeNs t) {
+  while (!completions_.empty() && completions_.top_time() <= t) {
+    if (faults_on_) {
+      apply_due_faults(completions_.top_time());
+      // Defensive: faults never push completions, but re-check the bound.
+      if (completions_.empty() || completions_.top_time() > t) break;
+    }
+    pop_completion();
+  }
+}
+
+void SimEngine::finish_run() {
+  while (!completions_.empty()) {
+    if (faults_on_) {
+      apply_due_faults(completions_.top_time());
+      if (completions_.empty()) break;  // faults flushed the rest
+    }
+    pop_completion();
   }
 
   // Events scheduled past the drain point still apply (e.g. a trailing
   // core_up that balances an earlier down), with the clock frozen at the
   // drain time: they can no longer affect any packet.
-  if (fault_events != nullptr) {
-    while (fault_next < fault_events->size()) {
-      apply_fault((*fault_events)[fault_next++], /*advance=*/false);
+  if (faults_on_) {
+    const std::vector<FaultEvent>& events = config_.faults->events;
+    while (fault_next_ < events.size()) {
+      apply_fault(events[fault_next_++], /*advance=*/false);
     }
   }
 
@@ -187,8 +222,8 @@ void SimEngine::run(ArrivalStream& arrivals, const std::string& scenario) {
   for (const CoreState& core : cores_) busy_total += core.busy_total;
 
   RunEnd end;
-  end.horizon = horizon;
-  end.end = now_ > horizon ? now_ : horizon;
+  end.horizon = horizon_;
+  end.end = now_ > horizon_ ? now_ : horizon_;
   end.busy_total = busy_total;
   end.extra = scheduler_.extra_stats();
   if (faults_on_) {

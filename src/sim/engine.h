@@ -84,6 +84,7 @@ class FlowBlock {
   }
 
   Record& at(std::uint32_t f) { return block_[f]; }
+  const Record& at(std::uint32_t f) const { return block_[f]; }
 
   std::uint32_t& ingress_seq(std::uint32_t f) { return block_[f].ingress_seq; }
   std::uint32_t& egress_hi(std::uint32_t f) { return block_[f].egress_hi; }
@@ -136,6 +137,40 @@ class SimEngine final : public NpuView, public SchedEventSink {
   /// Results are whatever the attached probes collected (e.g.
   /// ReportProbe::report()).
   void run(ArrivalStream& arrivals, const std::string& scenario);
+
+  // --- Stepping interface -------------------------------------------------
+  // run() is exactly begin_run + feed(one call per arrival, nondecreasing
+  // times) + finish_run; the golden determinism suites prove the
+  // decomposition bit-identical. External drivers (the cluster fabric in
+  // src/cluster) use it to interleave several engines on one merged clock:
+  // feed a batch of arrivals, then advance_to(t) to settle every completion
+  // (and due fault) up to the sync barrier. One engine instance still runs
+  // exactly once.
+
+  /// Opens a run: probes' on_run_begin, scheduler attach, flow-block
+  /// pre-size. `total_flows` is the stream's population hint (0 = unknown).
+  void begin_run(const std::string& scenario, std::size_t total_flows);
+  /// Processes one arrival, first settling every completion and fault due
+  /// strictly before (or tied with) it — identical ordering to run()'s
+  /// loop. Arrival times must be nondecreasing across calls.
+  void feed(const GeneratedPacket& arrival);
+  /// Settles all completions with time <= t. Fault events stay lazy
+  /// (applied only when a completion at or after them runs), exactly as
+  /// run() would with a future arrival pending: a fault due in the settled
+  /// window but after the last completion is applied by the next
+  /// feed()/finish_run(), preserving the trailing-fault frozen-clock rule
+  /// when the stream ends instead.
+  void advance_to(TimeNs t);
+  /// Drains remaining completions, applies trailing faults with the clock
+  /// frozen, and emits the RunEnd epilogue to probes.
+  void finish_run();
+  /// Starts fetching `gflow`'s flow record — the same hide-the-miss hint
+  /// run()'s own loop issues one arrival ahead; batch feeders (the cluster
+  /// shard tasks) call it so the stepping path keeps run()'s memory-level
+  /// parallelism. Purely advisory: no effect on results.
+  void prefetch_flow(std::uint32_t gflow) const {
+    if (gflow < flows_.size()) __builtin_prefetch(&flows_.at(gflow), 1);
+  }
 
   // NpuView (what the scheduler is allowed to observe):
   TimeNs now() const override { return now_; }
@@ -217,6 +252,12 @@ class SimEngine final : public NpuView, public SchedEventSink {
 
   void handle_arrival(SimPacket pkt);
   void handle_completion(CoreId core);
+  /// Applies every not-yet-applied fault event with time <= limit,
+  /// advancing the clock to each. Callers gate on faults_on_.
+  void apply_due_faults(TimeNs limit);
+  /// Pops and executes one completion (stall resume, stale-generation
+  /// skip, or packet completion) — the body of run()'s completion branch.
+  void pop_completion();
   void start_service(CoreId core);
   void emit_epochs_until(TimeNs t);
   /// Fans out on_engine_sample with current engine-internal state. Called
@@ -258,6 +299,10 @@ class SimEngine final : public NpuView, public SchedEventSink {
   std::uint64_t fault_events_applied_ = 0;
   std::uint64_t fault_flush_drops_ = 0;
   std::uint64_t fault_dead_route_drops_ = 0;
+
+  // Stepping-run state (begin_run .. finish_run).
+  std::size_t fault_next_ = 0;  ///< next unapplied config_.faults event
+  TimeNs horizon_ = 0;          ///< last arrival time (RunEnd.horizon)
 };
 
 }  // namespace laps

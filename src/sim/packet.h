@@ -16,7 +16,13 @@ struct SimPacket {
   TimeNs arrival = 0;           ///< ingress time at the scheduler
   FiveTuple tuple;              ///< header the scheduler hashes
   std::uint32_t gflow = 0;      ///< dense global flow index
-  std::uint32_t seq = 0;        ///< per-flow ingress sequence number
+  std::uint32_t seq = 0;        ///< per-flow ingress sequence number,
+                                ///< assigned by THIS engine at feed — dense,
+                                ///< which the ReorderBuffer depends on
+  /// Cluster-global per-flow sequence stamped by the front-end dispatcher
+  /// before the packet reached this NP (src/cluster) — NIC RX metadata the
+  /// engine carries opaquely. 0 in single-engine runs.
+  std::uint32_t cluster_seq = 0;
   std::uint16_t size_bytes = 64;
   ServicePath service = ServicePath::kIpForward;
 

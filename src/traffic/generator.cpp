@@ -84,8 +84,10 @@ std::uint32_t PacketGenerator::global_flow(PerService& s,
 }
 
 ReplayStream ReplayStream::record(ArrivalStream& source) {
+  auto packets = std::make_shared<std::vector<GeneratedPacket>>();
+  while (auto pkt = source.next()) packets->push_back(*pkt);
   ReplayStream replay;
-  while (auto pkt = source.next()) replay.packets_.push_back(*pkt);
+  replay.packets_ = std::move(packets);
   replay.total_flows_ = source.total_flows();
   return replay;
 }

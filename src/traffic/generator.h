@@ -22,6 +22,11 @@ struct GeneratedPacket {
   ServicePath service = ServicePath::kIpForward;
   PacketRecord record;
   std::uint32_t gflow = 0;
+  /// Cluster-global per-flow sequence, stamped by the cluster dispatcher on
+  /// its shard-bound copy (src/cluster) — the generator and single-engine
+  /// paths leave it 0. Rides the packet like NIC RX metadata so per-shard
+  /// engines need no shared numbering state.
+  std::uint32_t cluster_seq = 0;
 };
 
 /// Traffic description for one service: its rate curve and header trace.
@@ -103,22 +108,40 @@ class PacketGenerator final : public ArrivalStream {
 /// contiguous buffer; `rewind` makes the same traffic replayable any number
 /// of times. Kernel microbenchmarks use this to time the simulator without
 /// the (dominant) cost of online generation in the loop.
+///
+/// The recorded buffer is immutable and shared: `fork()` returns an
+/// independent cursor over the same packets, so several consumers (e.g.
+/// grid cells timing different configurations, or differential runs that
+/// must see byte-identical traffic) each get the full deterministic
+/// sequence without re-recording or double-consuming one stream. A
+/// ReplayStream was previously single-consumer — handing it to two runs
+/// meant the second saw an exhausted stream.
 class ReplayStream final : public ArrivalStream {
  public:
   /// Drains `source` to exhaustion.
   static ReplayStream record(ArrivalStream& source);
 
   std::optional<GeneratedPacket> next() override {
-    if (pos_ >= packets_.size()) return std::nullopt;
-    return packets_[pos_++];
+    if (pos_ >= packets_->size()) return std::nullopt;
+    return (*packets_)[pos_++];
   }
   std::size_t total_flows() const override { return total_flows_; }
 
   void rewind() { pos_ = 0; }
-  std::size_t size() const { return packets_.size(); }
+  std::size_t size() const { return packets_->size(); }
+
+  /// Independent cursor at position 0 over the same recorded buffer.
+  /// Cheap (shared_ptr copy); the forked stream's consumption does not
+  /// affect this one and vice versa.
+  ReplayStream fork() const {
+    ReplayStream copy(*this);
+    copy.pos_ = 0;
+    return copy;
+  }
 
  private:
-  std::vector<GeneratedPacket> packets_;
+  std::shared_ptr<const std::vector<GeneratedPacket>> packets_ =
+      std::make_shared<std::vector<GeneratedPacket>>();
   std::size_t total_flows_ = 0;
   std::size_t pos_ = 0;
 };

@@ -5,13 +5,16 @@
 // sibling spec grammar.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <random>
 #include <string>
 #include <vector>
 
+#include "exp/dispatcher_registry.h"
 #include "exp/scheduler_registry.h"
+#include "traffic/generator.h"
 #include "sim/scheduler.h"
 #include "sim/timing_wheel.h"
 #include "util/rng.h"
@@ -392,6 +395,202 @@ TEST(AggressiveSnapshot, DoesNotPerturbDetectorState) {
   // Detector-less schedulers report an empty set.
   EXPECT_TRUE(make_scheduler("fcfs")->aggressive_snapshot().empty());
   EXPECT_TRUE(make_scheduler("hash")->aggressive_snapshot().empty());
+}
+
+// =================================================== dispatcher registry ===
+// The --dispatch grammar shares exp/spec_lang.h with the scheduler specs;
+// these pin the dispatcher side of the fail-fast and round-trip contracts.
+
+std::string dispatch_error_of(const std::string& spec) {
+  try {
+    make_dispatcher(spec);
+    return "";
+  } catch (const DispatcherSpecError& e) {
+    return e.what();
+  }
+}
+
+TEST(DispatcherSpecErrors, UnknownDispatcherListsEveryValidName) {
+  const std::string msg = dispatch_error_of("bogus");
+  ASSERT_FALSE(msg.empty()) << "unknown dispatcher must throw";
+  EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+  for (const std::string& name : dispatcher_names()) {
+    EXPECT_NE(msg.find(name), std::string::npos)
+        << "error must list valid dispatcher '" << name << "': " << msg;
+  }
+}
+
+TEST(DispatcherSpecErrors, UnknownParameterListsValidKeys) {
+  const std::string msg = dispatch_error_of("affinity:zzz=1");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("zzz"), std::string::npos) << msg;
+  for (const char* key : {"th", "drain"}) {
+    EXPECT_NE(msg.find(key), std::string::npos)
+        << "error must list valid key '" << key << "': " << msg;
+  }
+}
+
+TEST(DispatcherSpecErrors, MalformedSpecsAllThrow) {
+  for (const char* spec : {
+           "",                   // empty spec
+           ":shard=1",           // empty dispatcher name
+           "fdir:",              // empty parameter list
+           "fdir:slots",         // parameter without '='
+           "fdir:=5",            // empty key
+           "fdir:slots=",        // empty value
+           "fdir:slots=abc",     // non-numeric size
+           "fdir:slots=0",       // zero-slot table
+           "fdir:slots=64,slots=32",  // duplicate key
+           "affinity:drain=maybe",    // non-boolean
+           "rss:slots=64",       // parameter on a parameterless dispatcher
+       }) {
+    EXPECT_THROW(make_dispatcher(spec), DispatcherSpecError) << spec;
+    EXPECT_THROW(canonical_dispatcher_spec(spec), DispatcherSpecError)
+        << spec;
+  }
+}
+
+TEST(DispatcherSpecErrors, ListRejectsEmptySegments) {
+  EXPECT_THROW(parse_dispatcher_list("rss;;rr"), DispatcherSpecError);
+  EXPECT_THROW(parse_dispatcher_list(";rss"), DispatcherSpecError);
+  EXPECT_TRUE(parse_dispatcher_list("").empty());
+  const auto specs = parse_dispatcher_list("rss;fdir:slots=512");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].display, "RSS");
+  EXPECT_EQ(specs[1].display, "FlowDirector");
+}
+
+TEST(DispatcherSpecErrors, HelpMentionsEveryDispatcher) {
+  const std::string help = dispatcher_spec_help();
+  for (const std::string& name : dispatcher_names()) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+/// Drives `n` synthetic packets (a skewed flow population, drifting shard
+/// loads, periodic completion feedback) through `d` and returns the pick
+/// sequence — the dispatcher-side analogue of decisions() above.
+std::vector<ShardId> dispatch_decisions(Dispatcher& d, std::size_t shards,
+                                        int n) {
+  d.attach(shards);
+  std::vector<ShardGauge> gauges(shards);
+  ClusterView view;
+  view.shards = {gauges.data(), gauges.size()};
+  std::vector<ShardId> picks;
+  std::vector<std::uint32_t> completed;
+  picks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    view.now = static_cast<TimeNs>(i) * 500;
+    for (std::size_t s = 0; s < shards; ++s) {
+      gauges[s].queue_len = static_cast<std::uint32_t>((i + 7 * s) % 40);
+    }
+    GeneratedPacket pkt;
+    pkt.time = view.now;
+    pkt.gflow = i % 2 == 0 ? i % 4 : 50u + i % 400;
+    pkt.record.tuple.src_ip = 0x0A000000u + pkt.gflow;
+    pkt.record.tuple.dst_ip =
+        static_cast<std::uint32_t>(mix64(pkt.gflow) >> 32) | 1u;
+    pkt.record.tuple.src_port =
+        static_cast<std::uint16_t>(1024 + pkt.gflow % 60000);
+    pkt.record.tuple.dst_port = 80;
+    pkt.record.tuple.protocol = 6;
+    const ShardId pick = d.pick(pkt, view);
+    picks.push_back(pick);
+    ++gauges[pick].dispatched;
+    completed.push_back(pkt.gflow);
+    if (i % 16 == 15) {
+      // Barrier: the oldest packets complete on whichever shard has them.
+      for (std::size_t s = 0; s < shards; ++s) {
+        gauges[s].delivered = gauges[s].dispatched -
+                              std::min<std::uint64_t>(gauges[s].dispatched,
+                                                      2 + s);
+      }
+      d.on_sync(view, {completed.data(), completed.size()});
+      completed.clear();
+    }
+  }
+  return picks;
+}
+
+/// A spec and its canonical form must behave identically, not just parse.
+void check_dispatcher_round_trip(const std::string& spec) {
+  SCOPED_TRACE(spec);
+  const std::string canon = canonical_dispatcher_spec(spec);
+  EXPECT_EQ(canonical_dispatcher_spec(canon), canon) << spec;
+  auto a = make_dispatcher(spec);
+  auto b = make_dispatcher(canon);
+  EXPECT_EQ(a->name(), b->name());
+  EXPECT_EQ(dispatch_decisions(*a, 4, 2000), dispatch_decisions(*b, 4, 2000));
+  EXPECT_EQ(a->extra_stats(), b->extra_stats());
+}
+
+TEST(DispatcherRoundTrip, HandWrittenSpecs) {
+  for (const char* spec : {
+           "pass", "pass:shard=0", "pass:shard=2", "rr", "rss", "fdir",
+           "fdir:slots=4096", "fdir:slots=64", "affinity",
+           "affinity:th=32,drain=1", "affinity:th=8,drain=0",
+           "affinity:drain=off", "load", "load:th=32", "load:th=1",
+       }) {
+    check_dispatcher_round_trip(spec);
+  }
+  // Default-valued parameters canonicalize away entirely.
+  EXPECT_EQ(canonical_dispatcher_spec("pass:shard=0"), "pass");
+  EXPECT_EQ(canonical_dispatcher_spec("fdir:slots=4096"), "fdir");
+  EXPECT_EQ(canonical_dispatcher_spec("affinity:th=32,drain=true"),
+            "affinity");
+  EXPECT_EQ(canonical_dispatcher_spec("load:th=8"), "load:th=8");
+}
+
+TEST(DispatcherRoundTrip, FuzzedSpecs) {
+  const auto u64_val = [](std::uint64_t lo, std::uint64_t hi) {
+    return [lo, hi](std::mt19937_64& rng) {
+      std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+      return std::to_string(d(rng));
+    };
+  };
+  const auto bool_val = [](std::mt19937_64& rng) {
+    static const char* kChoices[] = {"1",  "0",   "true", "false",
+                                     "on", "off", "yes",  "no"};
+    return std::string(kChoices[rng() % 8]);
+  };
+  struct FuzzEntry {
+    const char* name;
+    std::vector<std::pair<const char*,
+                          std::function<std::string(std::mt19937_64&)>>>
+        keys;
+  };
+  const std::vector<FuzzEntry> catalog = {
+      {"pass", {{"shard", u64_val(0, 3)}}},
+      {"rr", {}},
+      {"rss", {}},
+      {"fdir", {{"slots", u64_val(1, 512)}}},
+      {"affinity", {{"th", u64_val(0, 128)}, {"drain", bool_val}}},
+      {"load", {{"th", u64_val(0, 128)}}},
+  };
+  std::mt19937_64 rng(20260808);
+  for (int iter = 0; iter < 300; ++iter) {
+    const FuzzEntry& fe = catalog[rng() % catalog.size()];
+    std::string spec = fe.name;
+    bool first = true;
+    for (const auto& [key, value] : fe.keys) {
+      if (rng() % 2 == 0) continue;
+      spec += first ? ":" : ",";
+      first = false;
+      spec += std::string(key) + "=" + value(rng);
+    }
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    const std::string canon = canonical_dispatcher_spec(spec);
+    EXPECT_EQ(canonical_dispatcher_spec(canon), canon) << spec;
+    // Full behavioural comparison is cheap for dispatchers; sample anyway
+    // to keep the fuzz under a second.
+    if (iter % 5 == 0) {
+      check_dispatcher_round_trip(spec);
+    } else {
+      auto a = make_dispatcher(spec);
+      auto b = make_dispatcher(canon);
+      EXPECT_EQ(a->name(), b->name()) << spec;
+    }
+  }
 }
 
 }  // namespace
